@@ -1,0 +1,40 @@
+"""E-fig2 benchmark: exponential chain enumeration (Figure 2).
+
+Representative point: the 2^8 = 256 results of chain(8) must be fully
+enumerated; the paper uses this graph to justify CTP filters/timeouts.
+"""
+
+import pytest
+
+from repro.ctp.config import SearchConfig
+from repro.ctp.molesp import MoLESPSearch
+from repro.workloads.synthetic import chain_graph
+
+
+@pytest.fixture(scope="module")
+def chain8():
+    return chain_graph(8)
+
+
+def test_chain8_molesp_full_enumeration(benchmark, chain8):
+    graph, seeds = chain8
+    algorithm = MoLESPSearch()
+
+    def run():
+        return algorithm.run(graph, seeds)
+
+    results = benchmark(run)
+    assert len(results) == 256
+
+
+def test_chain12_limit100(benchmark):
+    """A budgeted partial enumeration (LIMIT pushes into the search)."""
+    graph, seeds = chain_graph(12)
+    algorithm = MoLESPSearch()
+    config = SearchConfig(limit=100)
+
+    def run():
+        return algorithm.run(graph, seeds, config)
+
+    results = benchmark(run)
+    assert len(results) == 100

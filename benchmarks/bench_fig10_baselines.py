@@ -1,0 +1,36 @@
+"""E-fig10 benchmark: complete baselines (BFT family vs GAM, Figure 10).
+
+Representative points of the Line/Comb/Star sweeps.  The expected ordering
+— BFT variants slower than GAM, aggressive merging worst — is checked by
+the experiment harness (``python -m repro.bench fig10``); here we measure
+the four algorithms under pytest-benchmark on one mid-size point per
+family.
+"""
+
+import pytest
+
+from repro.ctp.config import SearchConfig
+from repro.ctp.registry import get_algorithm
+from repro.workloads.synthetic import comb_graph, line_graph, star_graph
+
+CONFIG = SearchConfig(timeout=10.0)
+
+POINTS = {
+    "line": line_graph(5, 3),
+    "comb": comb_graph(2, 2, 3),
+    "star": star_graph(5, 2),
+}
+
+
+@pytest.mark.parametrize("family", ["line", "comb", "star"])
+@pytest.mark.parametrize("algorithm", ["bft", "bft-m", "bft-am", "gam"])
+def test_baseline(benchmark, family, algorithm):
+    graph, seeds = POINTS[family]
+    algo = get_algorithm(algorithm)
+
+    def run():
+        return algo.run(graph, seeds, CONFIG)
+
+    results = benchmark(run)
+    assert results.complete
+    assert len(results) >= 1

@@ -1,0 +1,52 @@
+"""E-fig11 benchmark: the GAM algorithm family (Figure 11).
+
+One representative point per family, large enough that the pruning
+hierarchy is visible in the timings (GAM slowest, ESP fastest, MoLESP in
+between but complete).
+"""
+
+import pytest
+
+from repro.ctp.config import SearchConfig
+from repro.ctp.registry import get_algorithm
+from repro.workloads.synthetic import comb_graph, line_graph, star_graph
+
+CONFIG = SearchConfig(timeout=30.0)
+
+POINTS = {
+    "line": line_graph(10, 3),
+    "comb": comb_graph(4, 2, 4),
+    "star": star_graph(7, 3),
+}
+
+#: Algorithms that find the (unique) result on each family's point.
+FINDS_RESULT = {
+    ("line", "gam"): True,
+    ("line", "esp"): False,
+    ("line", "moesp"): True,
+    ("line", "lesp"): False,
+    ("line", "molesp"): True,
+    ("comb", "gam"): True,
+    ("comb", "esp"): False,
+    ("comb", "moesp"): True,
+    ("comb", "lesp"): False,
+    ("comb", "molesp"): True,
+}
+
+
+@pytest.mark.parametrize("family", ["line", "comb", "star"])
+@pytest.mark.parametrize("algorithm", ["gam", "esp", "moesp", "lesp", "molesp"])
+def test_variant(benchmark, family, algorithm):
+    graph, seeds = POINTS[family]
+    algo = get_algorithm(algorithm)
+
+    def run():
+        return algo.run(graph, seeds, CONFIG)
+
+    results = benchmark(run)
+    assert results.complete
+    expected = FINDS_RESULT.get((family, algorithm))
+    if expected is True:
+        assert len(results) == 1
+    elif expected is False:
+        assert len(results) == 0  # the paper's missing curves

@@ -1,0 +1,37 @@
+"""E-fig12 benchmark: QGSTP vs GAM vs MoLESP on DBPedia-like CTPs.
+
+The paper aligns semantics with UNI + LIMIT 1 (QGSTP returns one result).
+We benchmark each system over the same sampled CTP workload, grouped by
+the number of seed sets.
+"""
+
+import pytest
+
+from repro.baselines.qgstp import QGSTPApproximation
+from repro.ctp.config import SearchConfig
+from repro.ctp.registry import get_algorithm
+
+CONFIG = SearchConfig(uni=True, limit=1, timeout=10.0)
+
+
+def _by_m(workload, m):
+    return [ctp for ctp in workload if len(ctp) == m]
+
+
+@pytest.mark.parametrize("m", [2, 3, 4])
+@pytest.mark.parametrize("system", ["qgstp", "molesp", "gam"])
+def test_system_by_m(benchmark, dbpedia, dbpedia_ctps, m, system):
+    ctps = _by_m(dbpedia_ctps, m)[:3]
+    assert ctps, "sampled workload must contain this m"
+    if system == "qgstp":
+        algo = QGSTPApproximation()
+    else:
+        algo = get_algorithm(system)
+    graph = dbpedia.graph
+
+    def run():
+        outcomes = [algo.run(graph, ctp, CONFIG) for ctp in ctps]
+        return outcomes
+
+    outcomes = benchmark(run)
+    assert len(outcomes) == len(ctps)

@@ -1,0 +1,61 @@
+"""E-fig13 benchmark: CDF m=2, all engines (Figure 13).
+
+One CDF size, every engine of the paper's legend.  Check-only engines
+must be fastest; the MoLESP rows run the full EQL query.
+"""
+
+import pytest
+
+from repro.baselines.path_engines import (
+    jedi_like_engine,
+    postgres_like_engine,
+    virtuoso_sparql_like_engine,
+    virtuoso_sql_like_engine,
+)
+from repro.query.evaluator import evaluate_query
+from repro.workloads.cdf import cdf_query
+
+
+def _endpoints(graph):
+    sources = sorted({graph.edge(e).target for e in graph.edges_with_label("c")})
+    targets = sorted({graph.edge(e).target for e in graph.edges_with_label("g")})
+    return sources, targets
+
+
+def test_molesp_full_query(benchmark, cdf_m2):
+    def run():
+        return evaluate_query(cdf_m2.graph, cdf_query(2), default_timeout=30.0)
+
+    result = benchmark(run)
+    assert len(result) == cdf_m2.expected_results
+
+
+def test_uni_molesp_full_query(benchmark, cdf_m2):
+    def run():
+        return evaluate_query(cdf_m2.graph, cdf_query(2, "UNI"), default_timeout=30.0)
+
+    result = benchmark(run)
+    assert len(result) == cdf_m2.expected_results
+
+
+@pytest.mark.parametrize(
+    "engine_factory",
+    [
+        lambda: virtuoso_sparql_like_engine(labels=("link",)),
+        virtuoso_sql_like_engine,
+        postgres_like_engine,
+        lambda: jedi_like_engine(labels=("link",)),
+    ],
+    ids=["virtuoso-sparql-like", "virtuoso-sql-like", "postgres-like", "jedi-like"],
+)
+def test_baseline_engine(benchmark, cdf_m2, engine_factory):
+    graph = cdf_m2.graph
+    sources, targets = _endpoints(graph)
+    engine = engine_factory()
+
+    def run():
+        return engine.run(graph, sources, targets, timeout=30.0)
+
+    report = benchmark(run)
+    assert not report.timed_out
+    assert report.connected_pairs

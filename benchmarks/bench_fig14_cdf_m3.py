@@ -1,0 +1,64 @@
+"""E-fig14 benchmark: CDF m=3 — connecting trees vs path stitching.
+
+MoLESP answers the 3-way CTP natively; path engines must enumerate two
+path sets and stitch them (with the Section 2 waste).
+"""
+
+import pytest
+
+from repro.baselines.path_engines import jedi_like_engine, virtuoso_sql_like_engine
+from repro.baselines.stitching import stitch_paths
+from repro.query.evaluator import evaluate_query
+from repro.workloads.cdf import cdf_query
+
+
+def _endpoints(graph):
+    sources = sorted({graph.edge(e).target for e in graph.edges_with_label("c")})
+    targets_g = sorted({graph.edge(e).target for e in graph.edges_with_label("g")})
+    targets_h = sorted({graph.edge(e).target for e in graph.edges_with_label("h")})
+    return sources, targets_g, targets_h
+
+
+def test_molesp_full_query(benchmark, cdf_m3):
+    def run():
+        return evaluate_query(cdf_m3.graph, cdf_query(3), default_timeout=60.0)
+
+    result = benchmark(run)
+    assert len(result) >= cdf_m3.expected_results
+
+
+def test_uni_molesp_full_query(benchmark, cdf_m3):
+    def run():
+        return evaluate_query(cdf_m3.graph, cdf_query(3, "UNI"), default_timeout=60.0)
+
+    result = benchmark(run)
+    assert len(result) == cdf_m3.expected_results
+
+
+def test_jedi_like_with_stitching(benchmark, cdf_m3):
+    graph = cdf_m3.graph
+    sources, targets_g, targets_h = _endpoints(graph)
+    engine = jedi_like_engine(labels=("link",))
+
+    def run():
+        part_g = engine.run(graph, sources, targets_g, timeout=30.0)
+        part_h = engine.run(graph, sources, targets_h, timeout=30.0)
+        return stitch_paths(graph, part_g.paths, part_h.paths)
+
+    stitched = benchmark(run)
+    # stitching rejects the shared-stem joins (Section 2)
+    assert stitched.non_tree_joins > 0
+
+
+def test_check_only_pairwise(benchmark, cdf_m3):
+    graph = cdf_m3.graph
+    sources, targets_g, targets_h = _endpoints(graph)
+    engine = virtuoso_sql_like_engine()
+
+    def run():
+        part_g = engine.run(graph, sources, targets_g, timeout=30.0)
+        part_h = engine.run(graph, sources, targets_h, timeout=30.0)
+        return part_g, part_h
+
+    part_g, part_h = benchmark(run)
+    assert part_g.connected_pairs and part_h.connected_pairs

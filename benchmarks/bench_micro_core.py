@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the core substrate operations.
+
+Not tied to a paper figure; useful to catch performance regressions in the
+pieces the algorithms hammer: adjacency iteration, BGP matching, joins,
+and the Grow/Merge hot path.
+"""
+
+import pytest
+
+from repro.graph.datasets import figure1, figure1_seed_sets
+from repro.query.ast import BGP, Condition, EdgePattern, Predicate
+from repro.query.bgp import evaluate_bgp
+from repro.storage.relational import natural_join
+from repro.storage.table import Table
+from repro.workloads.realworld import yago_like
+
+
+@pytest.fixture(scope="module")
+def kg():
+    return yago_like(scale=0.05).graph
+
+
+def test_adjacency_scan(benchmark, kg):
+    def run():
+        total = 0
+        for node in kg.node_ids():
+            total += len(kg.adjacent(node))
+        return total
+
+    total = benchmark(run)
+    assert total == 2 * kg.num_edges - sum(
+        1 for e in kg.edges() if e.source == e.target
+    )
+
+
+def test_bgp_two_pattern_join(benchmark, kg):
+    bgp = BGP(
+        (
+            EdgePattern(Predicate("x"), Predicate("e1", (Condition("label", "=", "linksTo"),)), Predicate("y")),
+            EdgePattern(Predicate("y"), Predicate("e2", (Condition("label", "=", "locatedIn"),)), Predicate("z")),
+        )
+    )
+
+    def run():
+        return evaluate_bgp(kg, bgp)
+
+    table = benchmark(run)
+    assert table.columns
+
+
+def test_natural_join_10k(benchmark):
+    left = Table(("a", "b"), [(i, i % 100) for i in range(10_000)])
+    right = Table(("b", "c"), [(i, -i) for i in range(100)])
+
+    def run():
+        return natural_join(left, right)
+
+    joined = benchmark(run)
+    assert len(joined) == 10_000
+
+
+def test_molesp_figure1_end_to_end(benchmark):
+    from repro.ctp.molesp import MoLESPSearch
+
+    graph = figure1()
+    seeds = figure1_seed_sets(graph)
+    algorithm = MoLESPSearch()
+
+    def run():
+        return algorithm.run(graph, seeds)
+
+    results = benchmark(run)
+    assert len(results) == 64

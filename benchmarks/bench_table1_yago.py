@@ -1,0 +1,35 @@
+"""E-tab1 benchmark: the J1-J3 EQL queries on the YAGO3-like graph.
+
+J1: selective BGPs + 2 CTPs; J2: one very large seed set (Section 4.9 ii);
+J3: an N (wildcard) seed set (Section 4.9 i).
+"""
+
+import pytest
+
+from repro.query.evaluator import evaluate_query
+from repro.workloads.realworld import j1_query, j2_query, j3_query
+
+
+def test_j1(benchmark, yago):
+    def run():
+        return evaluate_query(yago.graph, j1_query("MAX 5 TIMEOUT 10"), default_timeout=10.0)
+
+    result = benchmark(run)
+    assert len(result.ctp_reports) == 2
+
+
+def test_j2_large_seed_set(benchmark, yago):
+    def run():
+        return evaluate_query(yago.graph, j2_query("MAX 3 TIMEOUT 10"), default_timeout=10.0)
+
+    result = benchmark(run)
+    sizes = [s for s in result.ctp_reports[0].seed_set_sizes if s is not None]
+    assert max(sizes) > 20
+
+
+def test_j3_wildcard_seed_set(benchmark, yago):
+    def run():
+        return evaluate_query(yago.graph, j3_query("MAX 3 LIMIT 200 TIMEOUT 10"), default_timeout=10.0)
+
+    result = benchmark(run)
+    assert None in result.ctp_reports[0].seed_set_sizes

@@ -1,0 +1,36 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_*`` file benchmarks representative points of one paper
+figure/table; the full parameter sweeps (and the paper-style reports) live
+in ``repro.bench`` and are run with ``python -m repro.bench <exp>``.
+"""
+
+import pytest
+
+from repro.workloads.cdf import cdf_graph
+from repro.workloads.realworld import dbpedia_like, sample_ctp_workload, yago_like
+
+
+@pytest.fixture(scope="session")
+def cdf_m2():
+    return cdf_graph(num_trees=20, num_links=40, link_length=3, m=2, seed=17)
+
+
+@pytest.fixture(scope="session")
+def cdf_m3():
+    return cdf_graph(num_trees=12, num_links=24, link_length=3, m=3, seed=23)
+
+
+@pytest.fixture(scope="session")
+def dbpedia():
+    return dbpedia_like(scale=0.03)
+
+
+@pytest.fixture(scope="session")
+def dbpedia_ctps(dbpedia):
+    return sample_ctp_workload(dbpedia.graph, scale=0.03, seed=42)
+
+
+@pytest.fixture(scope="session")
+def yago():
+    return yago_like(scale=0.04)

@@ -1,0 +1,51 @@
+"""Compare all eight CTP algorithms on the paper's synthetic graphs.
+
+Reproduces, at glance scale, the story of Figures 10-11: the breadth-first
+family drowns in duplicate trees and minimization; GAM is much faster but
+redundant across roots; edge-set pruning (ESP) is fast but loses results;
+MoESP/LESP each repair part of the damage; MoLESP is both fast and
+complete for these workloads.
+
+Run with::
+
+    python examples/algorithm_showdown.py
+"""
+
+import time
+
+from repro import evaluate_ctp
+from repro.bench.reporting import render_table
+from repro.workloads.synthetic import comb_graph, line_graph, star_graph
+
+ALGORITHMS = ["bft", "bft-m", "bft-am", "gam", "esp", "moesp", "lesp", "molesp"]
+
+WORKLOADS = [
+    ("Line(m=5, sL=4)", *line_graph(5, 3)),
+    ("Comb(nA=3, nS=2, sL=3) [m=9]", *comb_graph(3, 2, 3)),
+    ("Star(m=6, sL=3)", *star_graph(6, 3)),
+]
+
+rows = []
+for name, graph, seeds in WORKLOADS:
+    for algorithm in ALGORITHMS:
+        started = time.perf_counter()
+        results = evaluate_ctp(graph, seeds, algorithm, timeout=5.0)
+        elapsed = (time.perf_counter() - started) * 1000.0
+        rows.append(
+            {
+                "workload": name,
+                "algorithm": algorithm,
+                "time_ms": round(elapsed, 2),
+                "results": len(results),
+                "provenances": results.stats.provenances,
+                "complete_run": results.complete,
+            }
+        )
+
+print(render_table(rows, ["workload", "algorithm", "time_ms", "results", "provenances", "complete_run"]))
+
+print(
+    "\nreading guide: esp/lesp report 0 results on Line/Comb (pruned away);"
+    "\nmoesp/molesp find the result while building far fewer provenances than gam;"
+    "\nbft variants build the most trees — Figure 10's story."
+)

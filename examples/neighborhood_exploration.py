@@ -1,0 +1,63 @@
+"""Wildcard connection search: "show me everything around these entities".
+
+Section 4.9 of the paper supports CTPs where a seed set is all of N —
+query J3's shape ("1 CTP, N seed set").  That turns connection search
+into neighbourhood exploration: every minimal tree from the explicit
+seeds to *any* node is an answer, so MAX / LIMIT / SCORE filters control
+the budget.  This is the workhorse query of investigative exploration:
+you know one entity and want its connection fan-out ranked sensibly.
+
+Run with::
+
+    python examples/neighborhood_exploration.py
+"""
+
+from repro import SearchConfig, WILDCARD, evaluate_ctp, evaluate_query
+from repro.query.scoring import hub_penalty_score
+from repro.workloads.realworld import yago_like
+
+dataset = yago_like(scale=0.03)
+graph = dataset.graph
+print(f"knowledge-graph substitute: {graph}")
+
+# pick an 'interesting' person: a mid-degree node (hubs are boring)
+persons = dataset.nodes_by_type["person"]
+anchor = min(persons, key=lambda n: abs(graph.degree(n) - 5))
+print(f"anchor entity: {graph.node(anchor).label} (degree {graph.degree(anchor)})")
+
+# ----------------------------------------------------------------------
+# 1. Programmatic API: all connections of <= 2 edges around the anchor.
+# ----------------------------------------------------------------------
+results = evaluate_ctp(
+    graph,
+    [[anchor], WILDCARD],
+    "molesp",
+    config=SearchConfig(max_edges=2, score=hub_penalty_score, top_k=5),
+)
+print(f"\ntop 5 of {results.stats.results_found} neighbourhood connections (hub-avoiding):")
+for result in results.sorted_by_score():
+    print(f"  score={result.score:.3f}  {result.describe(graph)}")
+
+# ----------------------------------------------------------------------
+# 2. The same as an EQL query (J3's shape), via the query pipeline.
+# ----------------------------------------------------------------------
+label = graph.node(anchor).label
+query = f"""
+SELECT ?e ?l WHERE {{
+  CONNECT(?e, *) AS ?l MAX 2 LIMIT 40 TIMEOUT 5
+  FILTER(?e = "{label}")
+}}
+"""
+answer = evaluate_query(graph, query)
+print(f"\nEQL wildcard query returned {len(answer)} rows; first few:")
+print(answer.format(limit=5))
+
+# ----------------------------------------------------------------------
+# 3. Grow the radius: how fast does the neighbourhood explode?
+# ----------------------------------------------------------------------
+print("\nneighbourhood growth (results by MAX radius):")
+for radius in (1, 2, 3):
+    results = evaluate_ctp(
+        graph, [[anchor], WILDCARD], "molesp", config=SearchConfig(max_edges=radius)
+    )
+    print(f"  MAX {radius}: {len(results)} connecting trees")

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The pinned environment ships setuptools without ``wheel``, so PEP 660
+editable installs (which build a wheel) fail; this shim lets
+``pip install -e .`` fall back to the classic ``setup.py develop`` path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""repro — reproduction of "Integrating Connection Search in Graph Queries".
+
+The public API has three layers:
+
+* :mod:`repro.graph` — the graph data model (Definition 2.1);
+* :mod:`repro.ctp` — connecting-tree-pattern evaluation (Section 4):
+  ``evaluate_ctp``, the GAM/ESP/MoESP/LESP/MoLESP family and the BFT
+  baselines;
+* :mod:`repro.query` — the Extended Query Language (Sections 2-3):
+  ``parse_query`` and ``evaluate_query`` combine BGPs and CTPs.
+
+Quickstart::
+
+    from repro import GraphBuilder, evaluate_ctp
+
+    b = GraphBuilder()
+    b.triple("Alice", "worksAt", "Inria")
+    b.triple("Bob", "studiedAt", "Inria")
+    results = evaluate_ctp(b.graph, [[b.id_of("Alice")], [b.id_of("Bob")]])
+    for result in results:
+        print(result.describe(b.graph))
+"""
+
+from repro.graph import Edge, Graph, GraphBuilder, Node, graph_from_triples
+from repro.ctp import (
+    ALGORITHMS,
+    CTPResultSet,
+    ResultTree,
+    SearchConfig,
+    SearchStats,
+    WILDCARD,
+    evaluate_ctp,
+    get_algorithm,
+)
+from repro.query import EQLQuery, QueryResult, evaluate_query, parse_query
+from repro.errors import (
+    EvaluationError,
+    GraphError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SearchError,
+    StorageError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "CTPResultSet",
+    "EQLQuery",
+    "Edge",
+    "EvaluationError",
+    "Graph",
+    "GraphBuilder",
+    "GraphError",
+    "Node",
+    "ParseError",
+    "QueryError",
+    "QueryResult",
+    "ReproError",
+    "ResultTree",
+    "SearchConfig",
+    "SearchError",
+    "SearchStats",
+    "StorageError",
+    "ValidationError",
+    "WILDCARD",
+    "evaluate_ctp",
+    "evaluate_query",
+    "get_algorithm",
+    "graph_from_triples",
+    "parse_query",
+    "__version__",
+]

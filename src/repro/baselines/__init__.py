@@ -1,0 +1,44 @@
+"""Comparison systems used in the paper's evaluation (Section 5.2).
+
+* :mod:`repro.baselines.dpbf` — DPBF [Ding et al., ICDE 2007]: exact
+  minimum-cost group Steiner tree by dynamic programming; the basis of
+  LANCET, and our *oracle* for smallest-result checks in tests.
+* :mod:`repro.baselines.qgstp` — a re-implementation of the QGSTP-style
+  polynomial-time GSTP approximation (single result), the strongest recent
+  competitor the paper compares against (Figure 12).
+* :mod:`repro.baselines.path_engines` — semantic simulators of the graph
+  query engines of Section 5.5: check-only unidirectional engines
+  (Virtuoso-like), path-returning engines (Postgres/JEDI-like) and
+  undirected path enumeration (Neo4j-like).
+* :mod:`repro.baselines.stitching` — the path-stitching strategy the paper
+  argues against in Section 2 (duplicates + non-tree joins).
+"""
+
+from repro.baselines.dpbf import dpbf_optimal_tree
+from repro.baselines.qgstp import QGSTPApproximation
+from repro.baselines.path_engines import (
+    AllPathsEngine,
+    CheckOnlyPathEngine,
+    PathEngineReport,
+    jedi_like_engine,
+    neo4j_like_engine,
+    postgres_like_engine,
+    virtuoso_sparql_like_engine,
+    virtuoso_sql_like_engine,
+)
+from repro.baselines.stitching import StitchReport, stitch_paths
+
+__all__ = [
+    "AllPathsEngine",
+    "CheckOnlyPathEngine",
+    "PathEngineReport",
+    "QGSTPApproximation",
+    "StitchReport",
+    "dpbf_optimal_tree",
+    "jedi_like_engine",
+    "neo4j_like_engine",
+    "postgres_like_engine",
+    "stitch_paths",
+    "virtuoso_sparql_like_engine",
+    "virtuoso_sql_like_engine",
+]

@@ -1,0 +1,280 @@
+"""Semantic simulators of the graph query engines of Section 5.5.
+
+The paper benchmarks Virtuoso (SPARQL 1.1 property paths and their SQL
+translation), Neo4j/Cypher, PostgreSQL recursive CTEs, and JEDI.  Those
+systems cannot be embedded here, so we reproduce each engine's *query
+semantics and algorithmic regime* over our own graph substrate — which is
+what determines the shapes in Figures 13/14 and Table 1:
+
+=====================  ====================================================
+engine                 semantic regime simulated
+=====================  ====================================================
+Virtuoso-SPARQL-like   unidirectional, label-constrained, **check-only**
+                       reachability (property paths return no paths)
+Virtuoso-SQL-like      unidirectional, any-label, check-only reachability
+Postgres-like          unidirectional recursive traversal **returning**
+                       simple paths (label sequences)
+JEDI-like              unidirectional, per source/target pair, returning
+                       all matching data paths
+Neo4j-like             **undirected** simple-path enumeration, returning
+                       paths (the regime whose cardinality blow-up makes
+                       Cypher time out in the paper)
+=====================  ====================================================
+
+Check-only engines run one BFS per source (cheap — their advantage in the
+paper); path-returning engines enumerate simple paths by DFS (exponential
+in the worst case — why they time out).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro._util import Deadline
+from repro.graph.graph import Graph
+
+Path = Tuple[int, ...]  # a sequence of edge ids
+
+
+@dataclass
+class PathEngineReport:
+    """Outcome of one engine run over a set of endpoint pairs."""
+
+    engine: str
+    #: (source, target) pairs confirmed connected (check-only engines) or
+    #: for which at least one path was returned.
+    connected_pairs: Set[Tuple[int, int]] = field(default_factory=set)
+    #: returned paths per (source, target) — empty for check-only engines.
+    paths: Dict[Tuple[int, int], List[Path]] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def total_paths(self) -> int:
+        return sum(len(p) for p in self.paths.values())
+
+
+class CheckOnlyPathEngine:
+    """Reachability checks without materializing paths (Virtuoso-like)."""
+
+    def __init__(self, name: str = "virtuoso-like", uni: bool = True, labels: Optional[Sequence[str]] = None):
+        self.name = name
+        self.uni = uni
+        self.labels = frozenset(labels) if labels is not None else None
+
+    def run(
+        self,
+        graph: Graph,
+        sources: Sequence[int],
+        targets: Sequence[int],
+        timeout: Optional[float] = None,
+        max_hops: Optional[int] = None,
+    ) -> PathEngineReport:
+        """One BFS per source; report which (source, target) pairs connect."""
+        deadline = Deadline(timeout)
+        report = PathEngineReport(engine=self.name)
+        target_set = set(targets)
+        for source in sources:
+            if deadline.expired():
+                report.timed_out = True
+                break
+            reached = self._bfs(graph, source, target_set, deadline, max_hops)
+            for target in reached:
+                report.connected_pairs.add((source, target))
+        report.elapsed_seconds = deadline.elapsed()
+        return report
+
+    def _bfs(
+        self,
+        graph: Graph,
+        source: int,
+        targets: Set[int],
+        deadline: Deadline,
+        max_hops: Optional[int],
+    ) -> Set[int]:
+        seen = {source}
+        reached = {source} & targets
+        queue = deque([(source, 0)])
+        labels = self.labels
+        while queue:
+            if deadline.expired():
+                break
+            node, hops = queue.popleft()
+            if max_hops is not None and hops >= max_hops:
+                continue
+            for edge_id, other, outgoing in graph.adjacent(node):
+                if self.uni and not outgoing:
+                    continue
+                if labels is not None and graph.edge(edge_id).label not in labels:
+                    continue
+                if other in seen:
+                    continue
+                seen.add(other)
+                if other in targets:
+                    reached.add(other)
+                queue.append((other, hops + 1))
+        return reached
+
+
+class AllPathsEngine:
+    """Simple-path enumeration between endpoint sets (DFS).
+
+    ``undirected=True`` reproduces Cypher's ``-[*]-`` regime (Neo4j-like);
+    otherwise paths follow edge directions (Postgres/JEDI-like).  Paths are
+    returned as edge-id sequences, so label sequences (Postgres) or data
+    paths (JEDI) can be derived from them.
+    """
+
+    def __init__(
+        self,
+        name: str = "paths-like",
+        undirected: bool = False,
+        labels: Optional[Sequence[str]] = None,
+        max_hops: Optional[int] = None,
+        per_pair: bool = False,
+        stop_at_targets: bool = True,
+    ):
+        self.name = name
+        self.undirected = undirected
+        self.labels = frozenset(labels) if labels is not None else None
+        self.max_hops = max_hops
+        #: JEDI/Cypher evaluate one (source, target) binding pair at a time,
+        #: so a path may pass *through* other pairs' endpoints — the regime
+        #: that makes their enumeration explode.
+        self.per_pair = per_pair
+        #: A recursive CTE keeps expanding paths and filters endpoints at
+        #: the end (stop_at_targets=False); a smarter engine prunes at the
+        #: first endpoint hit (stop_at_targets=True).
+        self.stop_at_targets = stop_at_targets
+        #: A naive recursive CTE's base case is *every* edge: paths are
+        #: expanded from all nodes and the source/target constraints are
+        #: applied by the outer SELECT.  Dominates the Postgres regime.
+        self.enumerate_from_all = False
+        #: The paper's Postgres baseline returns the *label path* of every
+        #: row; a recursive CTE materializes that string for every
+        #: intermediate row of the working table, which is a real part of
+        #: its cost and output semantics.
+        self.materialize_labels = False
+
+    def run(
+        self,
+        graph: Graph,
+        sources: Sequence[int],
+        targets: Sequence[int],
+        timeout: Optional[float] = None,
+        max_paths: Optional[int] = None,
+    ) -> PathEngineReport:
+        deadline = Deadline(timeout)
+        report = PathEngineReport(engine=self.name)
+        target_set = set(targets)
+        try:
+            if self.per_pair:
+                for source in sources:
+                    for target in targets:
+                        self._enumerate(graph, source, {target}, report, deadline, max_paths)
+            elif self.enumerate_from_all:
+                # CTE regime: expand from every node, filter sources at
+                # record time (the WHERE clause of the outer SELECT).
+                source_set = set(sources)
+                for root in graph.node_ids():
+                    self._enumerate(
+                        graph, root, target_set, report, deadline, max_paths,
+                        record_only_sources=source_set,
+                    )
+            else:
+                for source in sources:
+                    self._enumerate(graph, source, target_set, report, deadline, max_paths)
+        except _Expired:
+            report.timed_out = True
+        report.elapsed_seconds = deadline.elapsed()
+        return report
+
+    def _enumerate(
+        self,
+        graph: Graph,
+        source: int,
+        targets: Set[int],
+        report: PathEngineReport,
+        deadline: Deadline,
+        max_paths: Optional[int],
+        record_only_sources: Optional[Set[int]] = None,
+    ) -> None:
+        """Iterative DFS over simple paths from ``source``.
+
+        ``record_only_sources`` implements the CTE regime: exploration
+        happens regardless, but a path only reaches the report when its
+        start node passes the outer WHERE clause.
+        """
+        labels = self.labels
+        max_hops = self.max_hops
+        materialize = self.materialize_labels
+        recordable = record_only_sources is None or source in record_only_sources
+        # stack entries: (node, path edges, visited nodes, label path row)
+        stack: List[Tuple[int, Tuple[int, ...], frozenset, str]] = [(source, (), frozenset((source,)), "")]
+        while stack:
+            if deadline.expired():
+                raise _Expired()
+            node, path, visited, label_row = stack.pop()
+            if node in targets and path:
+                if recordable:
+                    key = (source, node)
+                    report.connected_pairs.add(key)
+                    report.paths.setdefault(key, []).append(path)
+                    if max_paths is not None and report.total_paths >= max_paths:
+                        return
+                if self.stop_at_targets:
+                    continue
+            if max_hops is not None and len(path) >= max_hops:
+                continue
+            for edge_id, other, outgoing in graph.adjacent(node):
+                if not self.undirected and not outgoing:
+                    continue
+                if other in visited:
+                    continue
+                edge = graph.edge(edge_id)
+                if labels is not None and edge.label not in labels:
+                    continue
+                # the CTE working table stores the accumulated label path
+                # for every row it materializes
+                row = f"{label_row}/{edge.label}" if materialize else label_row
+                stack.append((other, path + (edge_id,), visited | {other}, row))
+
+
+class _Expired(Exception):
+    pass
+
+
+# ----------------------------------------------------------------------
+# ready-made engine configurations matching the paper's baselines
+# ----------------------------------------------------------------------
+
+def virtuoso_sparql_like_engine(labels: Sequence[str]) -> CheckOnlyPathEngine:
+    """SPARQL 1.1 property paths: UNI, label regexp required, check-only."""
+    return CheckOnlyPathEngine("virtuoso-sparql-like", uni=True, labels=labels)
+
+
+def virtuoso_sql_like_engine() -> CheckOnlyPathEngine:
+    """Virtuoso's SQL translation with label constraints removed."""
+    return CheckOnlyPathEngine("virtuoso-sql-like", uni=True, labels=None)
+
+
+def postgres_like_engine(max_hops: Optional[int] = None) -> AllPathsEngine:
+    """Recursive CTE: expand all simple paths from every node (the CTE's
+    base case is the whole edge table), filter endpoints at the end."""
+    engine = AllPathsEngine("postgres-like", undirected=False, max_hops=max_hops, stop_at_targets=False)
+    engine.enumerate_from_all = True
+    engine.materialize_labels = True
+    return engine
+
+
+def jedi_like_engine(labels: Optional[Sequence[str]] = None) -> AllPathsEngine:
+    """JEDI: all data paths per (source, target) pair, unidirectional."""
+    return AllPathsEngine("jedi-like", undirected=False, labels=labels, per_pair=True)
+
+
+def neo4j_like_engine(max_hops: Optional[int] = None) -> AllPathsEngine:
+    """Cypher ``(a)-[*]-(b)``: undirected simple paths, one binding pair at
+    a time — the cardinality regime the paper cites for Neo4j's timeouts."""
+    return AllPathsEngine("neo4j-like", undirected=True, max_hops=max_hops, per_pair=True)

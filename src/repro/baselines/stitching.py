@@ -1,0 +1,97 @@
+"""Path stitching — the strategy Section 2 argues against.
+
+To emulate tree search with a path-only engine, one can join paths sharing
+a common endpoint ("path stitching"): for a 3-way CTP, join the paths
+``r -> s2`` and ``r -> s3`` over every candidate root ``r``.  The paper
+shows the results differ from CTP semantics:
+
+* the same ``n``-node tree is produced once per choice of root — ``n``
+  duplicates that must be de-duplicated;
+* joined paths can share nodes or edges, in which case their union is not
+  a tree at all and must be discarded;
+* surviving unions can still be non-minimal and need minimization.
+
+:func:`stitch_paths` implements the join and reports exactly how much work
+was wasted on duplicates and non-tree combinations, which the Figure 14
+harness uses when driving the path-returning baseline engines at m=3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.graph.graph import Graph
+
+Path = Tuple[int, ...]
+
+
+@dataclass
+class StitchReport:
+    """Outcome and waste accounting of a path-stitching join."""
+
+    #: distinct connecting trees, as frozensets of edge ids
+    trees: Set[FrozenSet[int]] = field(default_factory=set)
+    joins_attempted: int = 0
+    non_tree_joins: int = 0
+    duplicate_trees: int = 0
+    #: the join was cut short by ``max_joins`` (treat as a timeout)
+    truncated: bool = False
+
+    @property
+    def wasted_fraction(self) -> float:
+        if not self.joins_attempted:
+            return 0.0
+        return (self.non_tree_joins + self.duplicate_trees) / self.joins_attempted
+
+
+def _path_nodes(graph: Graph, start: int, path: Path) -> List[int]:
+    """The node sequence of a path starting at ``start``."""
+    nodes = [start]
+    current = start
+    for edge_id in path:
+        current = graph.edge(edge_id).other(current)
+        nodes.append(current)
+    return nodes
+
+
+def stitch_paths(
+    graph: Graph,
+    paths_a: Dict[Tuple[int, int], List[Path]],
+    paths_b: Dict[Tuple[int, int], List[Path]],
+    max_joins: int | None = None,
+) -> StitchReport:
+    """Join two path collections on their shared source endpoint.
+
+    ``paths_a`` and ``paths_b`` map ``(root, leaf)`` to edge-id paths (the
+    output shape of :class:`~repro.baselines.path_engines.AllPathsEngine`).
+    For every root appearing in both collections, every pair of paths is
+    combined; combinations sharing any node beyond the root are rejected
+    (their union is not a tree), and identical edge sets are counted as
+    duplicates.  ``max_joins`` bounds the quadratic join (the stitch of
+    two large path sets is itself a blow-up — part of the cost the paper
+    charges against path-based engines); exceeding it sets ``truncated``.
+    """
+    report = StitchReport()
+    by_root_a: Dict[int, List[Tuple[int, Path]]] = {}
+    for (root, leaf), paths in paths_a.items():
+        for path in paths:
+            by_root_a.setdefault(root, []).append((leaf, path))
+    for (root, leaf_b), paths in paths_b.items():
+        for path_b in paths:
+            nodes_b = set(_path_nodes(graph, root, path_b))
+            for leaf_a, path_a in by_root_a.get(root, ()):
+                if max_joins is not None and report.joins_attempted >= max_joins:
+                    report.truncated = True
+                    return report
+                report.joins_attempted += 1
+                nodes_a = set(_path_nodes(graph, root, path_a))
+                if len(nodes_a & nodes_b) != 1:
+                    report.non_tree_joins += 1
+                    continue
+                tree = frozenset(path_a) | frozenset(path_b)
+                if tree in report.trees:
+                    report.duplicate_trees += 1
+                else:
+                    report.trees.add(tree)
+    return report

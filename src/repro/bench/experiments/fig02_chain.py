@@ -1,0 +1,61 @@
+"""E-fig2 — the exponential chain of Figure 2 (Section 2).
+
+The CTP ``(1, N+1, v)`` over the chain graph has exactly ``2^N`` results
+(one per choice of parallel edge in each segment), the example the paper
+uses to motivate CTP filters and timeouts.  This experiment verifies the
+count, shows the exponential runtime growth, and demonstrates that a
+timeout turns the evaluation into a best-effort partial enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.harness import ExperimentReport, Measurement, time_call
+from repro.ctp.config import SearchConfig
+from repro.ctp.molesp import MoLESPSearch
+from repro.workloads.synthetic import chain_graph
+
+
+def run(scale: float = 1.0, timeout: Optional[float] = None, repeats: int = 1) -> ExperimentReport:
+    timeout = timeout if timeout is not None else 5.0
+    max_n = max(3, round(12 * scale))
+    report = ExperimentReport(
+        experiment="fig02",
+        title="Figure 2: chain graph — 2^N results for the endpoint CTP",
+        config={"scale": scale, "timeout": timeout, "max_n": max_n},
+    )
+    algorithm = MoLESPSearch()
+    for n in range(2, max_n + 1):
+        graph, seeds = chain_graph(n)
+        config = SearchConfig(timeout=timeout)
+        seconds, results = time_call(lambda: algorithm.run(graph, seeds, config), repeats)
+        report.add(
+            Measurement(
+                params={"N": n, "edges": graph.num_edges},
+                seconds=seconds,
+                values={
+                    "results": len(results),
+                    "expected": 2**n,
+                    "complete": results.complete,
+                },
+            )
+        )
+    # Demonstrate the timeout filter: a tight budget yields a partial result.
+    max_n = max_n + 8  # large enough that 2ms cannot enumerate 2^N results
+    graph, seeds = chain_graph(max_n)
+    tight = SearchConfig(timeout=0.002)
+    seconds, partial = time_call(lambda: algorithm.run(graph, seeds, tight), repeats)
+    report.add(
+        Measurement(
+            params={"N": max_n, "edges": graph.num_edges},
+            seconds=seconds,
+            values={
+                "results": len(partial),
+                "expected": 2**max_n,
+                "complete": partial.complete,
+            },
+        )
+    )
+    report.note("last row: TIMEOUT 0.01s — partial enumeration, complete=False (requirement R4 budgeted search)")
+    return report

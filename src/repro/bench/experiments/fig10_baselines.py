@@ -1,0 +1,45 @@
+"""E-fig10 — Figure 10: complete CTP evaluation baselines.
+
+Compares BFT, BFT-M, BFT-AM and GAM on the Line / Comb / Star sweeps.
+Expected shape (Section 5.4.1): the breadth-first family wastes effort on
+result minimization and duplicate construction, so it is orders of
+magnitude slower than GAM and increasingly times out on Comb/Star; the
+aggressive-merge variant is the most explosive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.experiments._common import synthetic_sweep
+from repro.bench.harness import ExperimentReport, Measurement, time_call
+from repro.ctp.config import SearchConfig
+from repro.ctp.registry import get_algorithm
+
+ALGORITHMS = ("bft", "bft-m", "bft-am", "gam")
+
+
+def run(scale: float = 1.0, timeout: Optional[float] = None, repeats: int = 1) -> ExperimentReport:
+    timeout = timeout if timeout is not None else 3.0
+    report = ExperimentReport(
+        experiment="fig10",
+        title="Figure 10: BFT / BFT-M / BFT-AM vs GAM on Line, Comb, Star",
+        config={"scale": scale, "timeout": timeout},
+    )
+    for family, params, graph, seeds in synthetic_sweep(scale):
+        for name in ALGORITHMS:
+            algorithm = get_algorithm(name)
+            config = SearchConfig(timeout=timeout)
+            seconds, results = time_call(lambda: algorithm.run(graph, seeds, config), repeats)
+            measurement = Measurement(
+                params={"family": family, **params, "algorithm": name},
+                seconds=seconds,
+                values={
+                    "results": len(results),
+                    "provenances": results.stats.provenances,
+                    "timed_out": results.timed_out,
+                },
+            )
+            report.add(measurement)
+    report.note("timed_out=True corresponds to the paper's missing points (did not finish by the timeout)")
+    return report

@@ -1,0 +1,92 @@
+"""E-fig13 — Figure 13: CDF benchmark for m=2 (paths between two leaf sets).
+
+Engines compared (Section 5.5.1), in the paper's legend order:
+
+* MoLESP (any path, return)      — full EQL query, bidirectional
+* UNI MoLESP (any path, return)  — same with the UNI filter
+* Postgres-like (any path, return)       — directed simple-path DFS
+* JEDI-like (labelled path, return)      — per-pair directed paths
+* Virtuoso-SPARQL-like (labelled, check) — BFS reachability, link labels
+* Virtuoso-SQL-like (any path, check)    — BFS reachability, no labels
+* Neo4j-like (any path, return)          — undirected enumeration
+
+Expected shape: check-only engines are fastest (they return nothing);
+UNI-MoLESP within a small factor (~3x); returning-path engines >=10x
+slower (JEDI succeeds only on the smallest graph); Neo4j-like times out;
+bidirectional MoLESP is the only feasible bidirectional engine and scales
+linearly with graph size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.baselines.path_engines import (
+    jedi_like_engine,
+    neo4j_like_engine,
+    postgres_like_engine,
+    virtuoso_sparql_like_engine,
+    virtuoso_sql_like_engine,
+)
+from repro.bench.harness import ExperimentReport, time_call
+from repro.query.evaluator import evaluate_query
+from repro.workloads.cdf import cdf_graph, cdf_query
+
+
+def default_grid(scale: float) -> List[Tuple[int, int]]:
+    grid = [(10, 20), (20, 40), (40, 80), (80, 160)]
+    keep = max(1, round(len(grid) * min(1.0, scale)))
+    return grid[:keep]
+
+
+def run(scale: float = 1.0, timeout: Optional[float] = None, repeats: int = 1) -> ExperimentReport:
+    timeout = timeout if timeout is not None else 5.0
+    report = ExperimentReport(
+        experiment="fig13",
+        title="Figure 13: CDF benchmark, m=2, SL in {3, 6}",
+        config={"scale": scale, "timeout": timeout},
+    )
+    for s_l in (3, 6):
+        for n_t, n_l in default_grid(scale):
+            dataset = cdf_graph(n_t, n_l, s_l, m=2, seed=17)
+            graph = dataset.graph
+            sources = sorted({graph.edge(e).target for e in graph.edges_with_label("c")})
+            targets = sorted({graph.edge(e).target for e in graph.edges_with_label("g")})
+            base = {"sL": s_l, "NT": n_t, "NL": n_l, "edges": graph.num_edges}
+
+            # MoLESP rows: the full EQL query (BGPs + CTP + join).
+            for engine, filters in (("molesp", ""), ("uni-molesp", "UNI")):
+                query = cdf_query(2, filters)
+                seconds, result = time_call(
+                    lambda: evaluate_query(graph, query, default_timeout=timeout), repeats
+                )
+                report.add_row(
+                    **base,
+                    engine=engine,
+                    time_ms=round(seconds * 1000.0, 3),
+                    answers=len(result),
+                    timed_out=result.ctp_reports[0].result_set.timed_out,
+                )
+
+            # Baseline engines: the path workload between the two leaf sets.
+            baselines = (
+                postgres_like_engine(),
+                jedi_like_engine(labels=("link",)),
+                virtuoso_sparql_like_engine(labels=("link",)),
+                virtuoso_sql_like_engine(),
+                neo4j_like_engine(),
+            )
+            for engine in baselines:
+                seconds, outcome = time_call(
+                    lambda: engine.run(graph, sources, targets, timeout=timeout), repeats
+                )
+                answers = outcome.total_paths if outcome.paths else len(outcome.connected_pairs)
+                report.add_row(
+                    **base,
+                    engine=engine.name,
+                    time_ms=round(seconds * 1000.0, 3),
+                    answers=answers,
+                    timed_out=outcome.timed_out,
+                )
+    report.note("check-only engines report connected pairs, not paths; the paper's Virtuoso rows are check-only too")
+    return report

@@ -1,0 +1,123 @@
+"""ASCII rendering of experiment series — figure-shaped terminal output.
+
+The paper presents its evaluation as log-scale line plots (Figures 10-14).
+This module renders the same data as terminal sparklines so a reader can
+see the *shapes* (orderings, crossovers, blow-ups, missing curves) right
+in the benchmark output, without a plotting stack:
+
+    == fig11/comb nA=6 — time_ms (log) over sL ==
+    gam     ▃▄▅▆▇▇███  8.9 .. 8242 ms   (3 timeouts)
+    molesp  ▁▂▂▃▃▄▄▅▅  0.5 .. 2063 ms
+
+Charts are derived purely from experiment rows (the JSON the harness
+saves), so they can also be regenerated offline from ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _log_scale(values: Sequence[Optional[float]], levels: int = len(_BLOCKS)) -> List[Optional[int]]:
+    """Map positive values to 0..levels-1 on a log scale (None passes through)."""
+    import math
+
+    present = [v for v in values if v is not None and v > 0]
+    if not present:
+        return [None if v is None else 0 for v in values]
+    low = math.log10(min(present))
+    high = math.log10(max(present))
+    span = max(high - low, 1e-9)
+    out: List[Optional[int]] = []
+    for value in values:
+        if value is None:
+            out.append(None)
+        elif value <= 0:
+            out.append(0)
+        else:
+            out.append(min(levels - 1, int((math.log10(value) - low) / span * (levels - 1) + 0.5)))
+    return out
+
+
+def sparkline(values: Sequence[Optional[float]]) -> str:
+    """One unicode sparkline; gaps (None) become spaces — the paper's
+    'missing points' for timed-out runs."""
+    return "".join(" " if level is None else _BLOCKS[level] for level in _log_scale(values))
+
+
+def render_series_chart(
+    rows: Sequence[Dict[str, Any]],
+    index: str,
+    series: str,
+    value: str,
+    title: str = "",
+    timeout_key: Optional[str] = "timed_out",
+) -> str:
+    """Render long-form rows as one sparkline per series value.
+
+    ``index`` is the x axis (sorted ascending); ``value`` the measured
+    quantity; rows whose ``timeout_key`` is truthy count as missing points
+    (rendered as gaps), mirroring the paper's missing curves.
+    """
+    xs = sorted({row[index] for row in rows})
+    names: List[str] = []
+    data: Dict[str, Dict[Any, Optional[float]]] = {}
+    timeouts: Dict[str, int] = {}
+    for row in rows:
+        name = str(row[series])
+        if name not in data:
+            names.append(name)
+            data[name] = {}
+            timeouts[name] = 0
+        if timeout_key and row.get(timeout_key):
+            data[name][row[index]] = None
+            timeouts[name] += 1
+        else:
+            data[name][row[index]] = row.get(value)
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    width = max((len(n) for n in names), default=0)
+    for name in names:
+        values = [data[name].get(x) for x in xs]
+        present = [v for v in values if v is not None]
+        if present:
+            annotation = f"{min(present):.3g} .. {max(present):.3g}"
+        else:
+            annotation = "(all timed out)"
+        suffix = f"   ({timeouts[name]} timeouts)" if timeouts[name] else ""
+        lines.append(f"{name.ljust(width)}  {sparkline(values)}  {annotation}{suffix}")
+    lines.append(f"{'x'.ljust(width)}  {index}: {xs[0]} .. {xs[-1]}")
+    return "\n".join(lines)
+
+
+#: How to slice each experiment's rows into figure-like panels:
+#: (group-by columns, x axis, series column, y value).
+CHART_SPECS: Dict[str, Tuple[Tuple[str, ...], str, str, str]] = {
+    "fig02": ((), "N", "complete", "time_ms"),
+    "fig10": (("family", "m"), "sL", "algorithm", "time_ms"),
+    "fig11": (("family", "m"), "sL", "algorithm", "time_ms"),
+    "fig12": ((), "m", "system", "avg_time_ms"),
+    "fig13": (("sL",), "edges", "engine", "time_ms"),
+    "fig14": (("sL",), "edges", "engine", "time_ms"),
+}
+
+
+def charts_for_experiment(experiment: str, rows: Sequence[Dict[str, Any]]) -> str:
+    """Render every panel of a known experiment (empty string otherwise)."""
+    spec = CHART_SPECS.get(experiment)
+    if spec is None or not rows:
+        return ""
+    group_columns, index, series, value = spec
+    panels: Dict[Tuple, List[Dict[str, Any]]] = {}
+    for row in rows:
+        key = tuple(row.get(column) for column in group_columns)
+        panels.setdefault(key, []).append(row)
+    parts = []
+    for key in sorted(panels, key=str):
+        label = ", ".join(f"{c}={v}" for c, v in zip(group_columns, key))
+        title = f"{experiment}{' [' + label + ']' if label else ''} — {value} (log) over {index}"
+        parts.append(render_series_chart(panels[key], index, series, value, title))
+    return "\n\n".join(parts)

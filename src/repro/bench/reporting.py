@@ -1,0 +1,74 @@
+"""Rendering experiment reports as aligned text / markdown tables."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.bench.harness import ExperimentReport, format_cell
+
+
+def render_table(rows: Sequence[Dict[str, Any]], columns: Sequence[str]) -> str:
+    """A fixed-width table, one row per measurement."""
+    if not rows:
+        return "(no rows)"
+    header = list(columns)
+    rendered = [[format_cell(row.get(c)) for c in header] for row in rows]
+    widths = [max(len(header[i]), max(len(r[i]) for r in rendered)) for i in range(len(header))]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def report_to_text(report: ExperimentReport) -> str:
+    lines = [f"== {report.experiment}: {report.title} =="]
+    if report.config:
+        config = ", ".join(f"{k}={v}" for k, v in report.config.items())
+        lines.append(f"config: {config}")
+    lines.append(render_table(report.rows, report.columns()))
+    for note in report.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def report_to_markdown(report: ExperimentReport) -> str:
+    lines = [f"### {report.experiment}: {report.title}", ""]
+    if report.config:
+        config = ", ".join(f"`{k}={v}`" for k, v in report.config.items())
+        lines.append(f"*config:* {config}")
+        lines.append("")
+    columns = report.columns()
+    if report.rows:
+        lines.append("| " + " | ".join(columns) + " |")
+        lines.append("|" + "|".join("---" for _ in columns) + "|")
+        for row in report.rows:
+            lines.append("| " + " | ".join(format_cell(row.get(c)) for c in columns) + " |")
+    for note in report.notes:
+        lines.append("")
+        lines.append(f"> {note}")
+    return "\n".join(lines)
+
+
+def pivot(
+    rows: Sequence[Dict[str, Any]],
+    index: str,
+    series: str,
+    value: str,
+) -> List[Dict[str, Any]]:
+    """Pivot long-form measurements into one row per index value.
+
+    Useful to render figure-style data (x axis = ``index``, one column per
+    ``series`` value) the way the paper's plots present it.
+    """
+    series_values: List[Any] = []
+    by_index: Dict[Any, Dict[str, Any]] = {}
+    for row in rows:
+        key = row[index]
+        label = str(row[series])
+        if label not in series_values:
+            series_values.append(label)
+        by_index.setdefault(key, {index: key})[label] = row.get(value)
+    return [by_index[k] for k in sorted(by_index)]

@@ -1,0 +1,122 @@
+"""Command-line interface: run EQL queries on graph files.
+
+Examples::
+
+    python -m repro demo
+    python -m repro info  --graph data.tsv
+    python -m repro query --graph data.tsv "SELECT ?w WHERE { CONNECT(\"A\", \"B\") AS ?w }"
+    python -m repro bench fig11 --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.cli import main as bench_main
+from repro.errors import ReproError
+from repro.graph.datasets import figure1
+from repro.graph.io import load_graph_json, load_graph_tsv
+from repro.graph.stats import graph_stats
+from repro.query.evaluator import evaluate_query
+
+
+def _load_graph(path: str):
+    if path.endswith(".json"):
+        return load_graph_json(path)
+    return load_graph_tsv(path)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = figure1() if args.graph is None else _load_graph(args.graph)
+    result = evaluate_query(
+        graph,
+        args.query,
+        algorithm=args.algorithm,
+        default_timeout=args.timeout,
+    )
+    print(result.format(limit=args.rows))
+    timings = result.timings
+    print(
+        f"\n{len(result)} row(s) | BGP {timings.bgp_seconds * 1000:.1f}ms, "
+        f"CTP {timings.ctp_seconds * 1000:.1f}ms, join {timings.join_seconds * 1000:.1f}ms"
+    )
+    for report in result.ctp_reports:
+        print(f"?{report.tree_var}: {report.result_set.stats.format()}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = figure1() if args.graph is None else _load_graph(args.graph)
+    print(graph)
+    print(graph_stats(graph).format())
+    labels = sorted(graph.edge_labels())
+    print(f"edge labels ({len(labels)}): {', '.join(labels[:20])}{'...' if len(labels) > 20 else ''}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    graph = figure1()
+    print("Figure 1 demo graph loaded:", graph)
+    query = """
+    SELECT ?x ?y ?z ?w WHERE {
+      ?x citizenOf "USA" .
+      ?y citizenOf "France" .
+      ?z citizenOf "France" .
+      FILTER(type(?x) = "entrepreneur")
+      FILTER(type(?y) = "entrepreneur")
+      FILTER(type(?z) = "politician")
+      CONNECT(?x, ?y, ?z) AS ?w SCORE size TOP 5
+    }
+    """
+    print("running Q1 (Section 2) with SCORE size TOP 5 ...\n")
+    result = evaluate_query(graph, query)
+    print(result.format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Connection search in graph queries (ICDE 2023 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="evaluate an EQL query over a graph file")
+    query.add_argument("query", help="EQL text (SELECT ... WHERE { ... })")
+    query.add_argument("--graph", help="TSV triples or JSON graph file (default: the Figure 1 demo graph)")
+    query.add_argument("--algorithm", default="molesp", help="CTP algorithm (default molesp)")
+    query.add_argument("--timeout", type=float, default=30.0, help="per-CTP timeout in seconds")
+    query.add_argument("--rows", type=int, default=25, help="max rows to display")
+    query.set_defaults(handler=_cmd_query)
+
+    info = sub.add_parser("info", help="show statistics of a graph file")
+    info.add_argument("--graph", help="TSV triples or JSON graph file (default: Figure 1)")
+    info.set_defaults(handler=_cmd_info)
+
+    demo = sub.add_parser("demo", help="run the paper's Q1 on the Figure 1 graph")
+    demo.set_defaults(handler=_cmd_demo)
+
+    bench = sub.add_parser("bench", help="regenerate the paper's tables/figures (see repro.bench)")
+    bench.add_argument("rest", nargs=argparse.REMAINDER)
+    bench.set_defaults(handler=None)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Structural analysis of CTP results (Definitions 4.2, 4.4-4.8).
+
+The paper's completeness guarantees are *structural*: whether MoLESP is
+guaranteed to find a result depends on the shape of its simple tree
+decomposition.  This module makes those definitions executable:
+
+* :func:`simple_tree_decomposition` — the unique partition of a result's
+  edges into simple edge sets (Definition 4.6);
+* :func:`classify_piece` — path / rooted merge / complex (Defs 4.5, 4.8);
+* :func:`is_p_piecewise_simple` — Definition 4.7;
+* :func:`molesp_guaranteed` — the union of Properties 4, 7 and 9: ``True``
+  means MoLESP *must* find this result, whatever the execution order.
+
+Tests use these to verify the Properties wholesale: every complete-search
+result classified as guaranteed must appear in MoLESP's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import SearchError
+from repro.graph.graph import Graph
+
+
+def tree_degrees(graph: Graph, edges: Iterable[int]) -> Dict[int, int]:
+    """Degree of every node within the edge set."""
+    degrees: Dict[int, int] = {}
+    for edge_id in edges:
+        edge = graph.edge(edge_id)
+        degrees[edge.source] = degrees.get(edge.source, 0) + 1
+        degrees[edge.target] = degrees.get(edge.target, 0) + 1
+    return degrees
+
+
+def is_edge_set(graph: Graph, edges: FrozenSet[int], seed_nodes: Set[int]) -> bool:
+    """Definition 4.2: a tree where at most one leaf is not a seed."""
+    from repro.ctp.results import is_tree
+
+    if not is_tree(graph, edges):
+        return False
+    degrees = tree_degrees(graph, edges)
+    non_seed_leaves = sum(1 for node, d in degrees.items() if d == 1 and node not in seed_nodes)
+    return non_seed_leaves <= 1
+
+
+def simple_tree_decomposition(
+    graph: Graph,
+    edges: FrozenSet[int],
+    seed_nodes: Set[int],
+) -> List[FrozenSet[int]]:
+    """The unique simple tree decomposition theta(t) (Definition 4.6).
+
+    Splits the tree at its internal seed nodes: two edges belong to the
+    same simple edge set iff they are connected through non-seed nodes.
+    Requires every leaf of the tree to be a seed (i.e. ``edges`` is a CTP
+    result); raises :class:`SearchError` otherwise, because theta is only
+    defined on results.
+    """
+    if not edges:
+        return []
+    degrees = tree_degrees(graph, edges)
+    for node, degree in degrees.items():
+        if degree == 1 and node not in seed_nodes:
+            raise SearchError(f"not a CTP result: non-seed leaf {node}")
+    # union-find over edges; merge edges sharing a *non-seed* endpoint
+    edge_list = sorted(edges)
+    position = {edge_id: index for index, edge_id in enumerate(edge_list)}
+    parent = list(range(len(edge_list)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    incident: Dict[int, List[int]] = {}
+    for edge_id in edge_list:
+        edge = graph.edge(edge_id)
+        for node in (edge.source, edge.target):
+            incident.setdefault(node, []).append(edge_id)
+    for node, node_edges in incident.items():
+        if node in seed_nodes:
+            continue
+        first = position[node_edges[0]]
+        for other in node_edges[1:]:
+            ra, rb = find(first), find(position[other])
+            if ra != rb:
+                parent[ra] = rb
+    pieces: Dict[int, Set[int]] = {}
+    for edge_id in edge_list:
+        pieces.setdefault(find(position[edge_id]), set()).add(edge_id)
+    return [frozenset(piece) for piece in pieces.values()]
+
+
+@dataclass(frozen=True)
+class PieceShape:
+    """Classification of one simple edge set."""
+
+    kind: str  # "path" | "rooted-merge" | "complex"
+    leaves: int
+    #: the single branching node for rooted merges (None otherwise)
+    center: int | None = None
+
+
+def classify_piece(graph: Graph, piece: FrozenSet[int], seed_nodes: Set[int]) -> PieceShape:
+    """Classify a simple edge set (Definitions 4.5 and 4.8).
+
+    * ``path`` — no branching node: a 2-simple edge set (two seed leaves);
+    * ``rooted-merge`` — exactly one branching node, which is not a seed:
+      a ``(u, n)``-rooted merge with ``u`` = number of leaves;
+    * ``complex`` — two or more branching nodes (or a seed branching
+      node): outside every MoLESP guarantee (e.g. Figure 6's result).
+    """
+    degrees = tree_degrees(graph, piece)
+    leaves = sum(1 for d in degrees.values() if d == 1)
+    branching = [node for node, d in degrees.items() if d >= 3]
+    if not branching:
+        return PieceShape("path", leaves)
+    if len(branching) == 1 and branching[0] not in seed_nodes:
+        return PieceShape("rooted-merge", leaves, center=branching[0])
+    return PieceShape("complex", leaves)
+
+
+def is_p_piecewise_simple(
+    graph: Graph,
+    edges: FrozenSet[int],
+    seed_nodes: Set[int],
+    p: int,
+) -> bool:
+    """Definition 4.7: every piece of theta(t) has at most ``p`` leaves."""
+    for piece in simple_tree_decomposition(graph, edges, seed_nodes):
+        degrees = tree_degrees(graph, piece)
+        leaves = sum(1 for d in degrees.values() if d == 1)
+        if leaves > p:
+            return False
+    return True
+
+
+def molesp_guaranteed(graph: Graph, edges: FrozenSet[int], seed_nodes: Set[int]) -> bool:
+    """Is this result covered by MoLESP's guarantees (Properties 4, 7, 9)?
+
+    ``True`` when every piece of the simple tree decomposition is a path
+    (2-simple) or a ``(u, n)``-rooted merge around a non-seed center —
+    exactly the class of Property 9, which subsumes Properties 4 and 7.
+    Single-node results (no edges) are trivially guaranteed.
+    """
+    if not edges:
+        return True
+    for piece in simple_tree_decomposition(graph, edges, seed_nodes):
+        if classify_piece(graph, piece, seed_nodes).kind == "complex":
+            return False
+    return True
+
+
+def result_shape(graph: Graph, edges: FrozenSet[int]) -> str:
+    """Coarse shape label for reporting: node / edge / path / star / tree."""
+    if not edges:
+        return "node"
+    if len(edges) == 1:
+        return "edge"
+    degrees = tree_degrees(graph, edges)
+    branching = [node for node, d in degrees.items() if d >= 3]
+    if not branching:
+        return "path"
+    if len(branching) == 1:
+        return "star"
+    return "tree"

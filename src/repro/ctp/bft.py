@@ -1,0 +1,277 @@
+"""The breadth-first baselines: BFT, BFT-M, BFT-AM (Sections 4.1 and 4.3).
+
+BFT views a tree as a plain set of edges (no root).  Starting from one-node
+trees on every seed, each generation grows every tree with every edge
+adjacent to *any* of its nodes (conditions Grow1/Grow2).  When a tree covers
+all seed sets it must be **minimized** — non-seed leaf branches stripped —
+before being reported, because growth from arbitrary nodes adds edges that
+later turn out useless; this minimization (and the much larger number of
+ways to build the same tree) is what makes the BFT family slow (Figure 10).
+
+``BFT-M`` additionally merges every grown tree once with all compatible
+partners; ``BFT-AM`` merges aggressively (cascading).  All three variants
+are complete; all three need result minimization.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro._util import Deadline, full_mask
+from repro.ctp.config import DEFAULT_CONFIG, SearchConfig
+from repro.ctp.engine import _StopSearch, normalize_seed_sets
+from repro.ctp.results import CTPResultSet, ResultTree
+from repro.ctp.stats import SearchStats
+from repro.errors import SearchError
+from repro.graph.graph import Graph
+
+
+class _BFTTree:
+    """An unrooted candidate tree: edge set, node set, seed coverage."""
+
+    __slots__ = ("edges", "nodes", "sat", "weight")
+
+    def __init__(self, edges: FrozenSet[int], nodes: FrozenSet[int], sat: int, weight: float):
+        self.edges = edges
+        self.nodes = nodes
+        self.sat = sat
+        self.weight = weight
+
+
+class BFTSearch:
+    """Breadth-first CTP search (complete, needs result minimization)."""
+
+    name = "bft"
+    #: "none" (plain BFT), "merge" (BFT-M), "aggressive" (BFT-AM).
+    merge_mode = "none"
+
+    def run(self, graph: Graph, seed_sets: Sequence, config: Optional[SearchConfig] = None) -> CTPResultSet:
+        run = _BFTRun(graph, seed_sets, config or DEFAULT_CONFIG, self)
+        return run.execute()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BFTMSearch(BFTSearch):
+    """BFT + one level of Merge on each grown tree (Section 4.3)."""
+
+    name = "bft-m"
+    merge_mode = "merge"
+
+
+class BFTAMSearch(BFTSearch):
+    """BFT + aggressive (cascading) Merge (Section 4.3)."""
+
+    name = "bft-am"
+    merge_mode = "aggressive"
+
+
+class _BFTRun:
+    def __init__(self, graph: Graph, seed_sets: Sequence, config: SearchConfig, algo: BFTSearch):
+        self.graph = graph
+        self.config = config
+        self.algo = algo
+        self.stats = SearchStats()
+        normalized, self.wildcard_positions = normalize_seed_sets(graph, seed_sets)
+        if self.wildcard_positions:
+            raise SearchError(
+                "the BFT baselines do not support N (wildcard) seed sets; "
+                "use a GAM-family algorithm (Section 4.9)"
+            )
+        self.positions = normalized
+        self.explicit_positions = [p for p, s in enumerate(normalized) if s is not None]
+        self.explicit_sets: List[Tuple[int, ...]] = [normalized[p] for p in self.explicit_positions]
+        self.full_sat = full_mask(len(self.explicit_sets))
+        self.seed_mask: Dict[int, int] = {}
+        for bit, nodes in enumerate(self.explicit_sets):
+            for node in nodes:
+                self.seed_mask[node] = self.seed_mask.get(node, 0) | (1 << bit)
+        self.memory: Set[FrozenSet[int]] = set()  # every tree ever built
+        self.trees_containing: Dict[int, List[_BFTTree]] = {}
+        self.queue: deque = deque()
+        self.result_keys: Set[FrozenSet[int]] = set()
+        self.results: List[ResultTree] = []
+        self.deadline = Deadline(config.timeout)
+        self.timed_out = False
+
+    # ------------------------------------------------------------------
+    def execute(self) -> CTPResultSet:
+        complete = True
+        try:
+            self._init_trees()
+            self._main_loop()
+        except _StopSearch as stop:
+            complete = False
+            self.timed_out = stop.timed_out
+        self.stats.elapsed_seconds = self.deadline.elapsed()
+        results = self.results
+        if self.config.top_k is not None and len(results) > self.config.top_k:
+            results = sorted(results, key=lambda r: (-(r.score or 0.0), r.size))[: self.config.top_k]
+        return CTPResultSet(results=results, stats=self.stats, complete=complete, timed_out=self.timed_out, algorithm=self.algo.name)
+
+    def _init_trees(self) -> None:
+        if any(not seed_set for seed_set in self.explicit_sets):
+            return
+        for node, mask in self.seed_mask.items():
+            tree = _BFTTree(frozenset(), frozenset((node,)), mask, 0.0)
+            self.stats.init_trees += 1
+            self._process(tree, allow_merge=False)
+
+    def _main_loop(self) -> None:
+        graph = self.graph
+        seed_mask = self.seed_mask
+        labels = self.config.labels
+        max_edges = self.config.max_edges
+        while self.queue:
+            if self.deadline.expired():
+                raise _StopSearch(timed_out=True)
+            tree = self.queue.popleft()
+            if max_edges is not None and len(tree.edges) + 1 > max_edges:
+                continue
+            for node in tree.nodes:
+                for edge_id, other, _ in graph.adjacent(node):
+                    if other in tree.nodes:  # Grow1
+                        continue
+                    other_mask = seed_mask.get(other, 0)
+                    if other_mask & tree.sat:  # Grow2
+                        continue
+                    edge = graph.edge(edge_id)
+                    if labels is not None and edge.label not in labels:
+                        continue
+                    grown = _BFTTree(
+                        tree.edges | {edge_id},
+                        tree.nodes | {other},
+                        tree.sat | other_mask,
+                        tree.weight + edge.weight,
+                    )
+                    self.stats.grows += 1
+                    self._process(grown, allow_merge=self.algo.merge_mode != "none")
+
+    # ------------------------------------------------------------------
+    def _process(self, tree: _BFTTree, allow_merge: bool) -> None:
+        """Register a candidate tree; report/minimize, queue, and merge."""
+        if tree.edges in self.memory and tree.edges:
+            return
+        self.memory.add(tree.edges)
+        self.stats.trees_kept += 1
+        if self.config.max_trees is not None and self.stats.trees_kept > self.config.max_trees:
+            raise _StopSearch()
+        if tree.sat == self.full_sat:
+            self._report(tree)
+            return
+        self.queue.append(tree)
+        if self.algo.merge_mode != "none" and tree.edges:
+            for node in tree.nodes:
+                self.trees_containing.setdefault(node, []).append(tree)
+        if allow_merge and tree.edges:
+            self._merge(tree, cascade=self.algo.merge_mode == "aggressive")
+
+    def _merge(self, tree: _BFTTree, cascade: bool) -> None:
+        """Merge ``tree`` with all compatible partners (one level or cascade)."""
+        work = deque([tree])
+        max_edges = self.config.max_edges
+        while work:
+            if self.deadline.expired():
+                raise _StopSearch(timed_out=True)
+            t1 = work.popleft()
+            candidates: List[_BFTTree] = []
+            seen_ids: Set[int] = set()
+            for node in t1.nodes:
+                for partner in self.trees_containing.get(node, ()):
+                    if id(partner) not in seen_ids:
+                        seen_ids.add(id(partner))
+                        candidates.append(partner)
+            for tp in candidates:
+                if tp is t1 or not tp.edges:
+                    continue
+                self.stats.merges_attempted += 1
+                common = t1.nodes & tp.nodes
+                if len(common) != 1:  # Merge1 analogue: share exactly one node
+                    continue
+                (shared,) = common
+                if (t1.sat & tp.sat) & ~self.seed_mask.get(shared, 0):  # Merge2
+                    continue
+                if max_edges is not None and len(t1.edges) + len(tp.edges) > max_edges:
+                    continue
+                merged = _BFTTree(t1.edges | tp.edges, t1.nodes | tp.nodes, t1.sat | tp.sat, t1.weight + tp.weight)
+                if merged.edges in self.memory:
+                    self.stats.pruned_history += 1
+                    continue
+                self.stats.merges += 1
+                self.memory.add(merged.edges)
+                self.stats.trees_kept += 1
+                if merged.sat == self.full_sat:
+                    self._report(merged)
+                    continue
+                self.queue.append(merged)
+                for node in merged.nodes:
+                    self.trees_containing.setdefault(node, []).append(merged)
+                if cascade:
+                    work.append(merged)
+
+    # ------------------------------------------------------------------
+    def _report(self, tree: _BFTTree) -> None:
+        """Minimize a covering tree (Section 4.1) and record the result."""
+        edges, nodes, weight = self._minimize(tree)
+        if edges in self.result_keys:
+            self.stats.duplicate_results += 1
+            return
+        if self.config.uni and edges and not self._is_arborescence(edges, nodes):
+            self.stats.pruned_filters += 1
+            return
+        self.result_keys.add(edges)
+        seeds: List[Optional[int]] = [None] * len(self.positions)
+        for node in nodes:
+            mask = self.seed_mask.get(node, 0) & tree.sat
+            for bit in range(len(self.explicit_sets)):
+                if mask & (1 << bit):
+                    seeds[self.explicit_positions[bit]] = node
+        score = None
+        if self.config.score is not None:
+            score = self.config.score(self.graph, edges, nodes)
+        self.results.append(ResultTree(edges=edges, nodes=nodes, seeds=tuple(seeds), weight=weight, score=score))
+        self.stats.results_found += 1
+        if self.config.limit is not None and self.stats.results_found >= self.config.limit:
+            raise _StopSearch()
+
+    def _minimize(self, tree: _BFTTree) -> Tuple[FrozenSet[int], FrozenSet[int], float]:
+        """Strip non-seed leaf branches until every leaf is a seed."""
+        graph = self.graph
+        incident: Dict[int, List[int]] = {node: [] for node in tree.nodes}
+        for edge_id in tree.edges:
+            edge = graph.edge(edge_id)
+            incident[edge.source].append(edge_id)
+            incident[edge.target].append(edge_id)
+        removed_edges: Set[int] = set()
+        removed_nodes: Set[int] = set()
+        candidates = deque(
+            node for node, edge_list in incident.items() if len(edge_list) == 1 and node not in self.seed_mask
+        )
+        while candidates:
+            leaf = candidates.popleft()
+            if leaf in removed_nodes:
+                continue
+            live = [e for e in incident[leaf] if e not in removed_edges]
+            if len(live) != 1:
+                continue
+            (edge_id,) = live
+            removed_edges.add(edge_id)
+            removed_nodes.add(leaf)
+            other = graph.edge(edge_id).other(leaf)
+            other_live = [e for e in incident[other] if e not in removed_edges]
+            if len(other_live) == 1 and other not in self.seed_mask:
+                candidates.append(other)
+        edges = frozenset(e for e in tree.edges if e not in removed_edges)
+        nodes = frozenset(n for n in tree.nodes if n not in removed_nodes)
+        weight = sum(graph.edge(e).weight for e in edges)
+        return edges, nodes, weight
+
+    def _is_arborescence(self, edges: FrozenSet[int], nodes: FrozenSet[int]) -> bool:
+        """UNI post-filter: one node reaches all others along edge directions."""
+        in_deg = {node: 0 for node in nodes}
+        for edge_id in edges:
+            in_deg[self.graph.edge(edge_id).target] += 1
+        roots = [node for node, d in in_deg.items() if d == 0]
+        return len(roots) == 1 and all(d <= 1 for d in in_deg.values())

@@ -1,0 +1,118 @@
+"""Search configuration: CTP filters (Section 2) and engine knobs.
+
+The paper's CTP filters — ``UNI``, ``LABEL {l1..lk}``, ``MAX n``,
+``SCORE sigma [TOP k]``, a per-CTP timeout, and ``LIMIT`` — are *pushed into*
+the search (Section 4.8) rather than applied on materialized results, so
+they all live on :class:`SearchConfig`, which every algorithm accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, FrozenSet, Optional, Union
+
+
+class _Wildcard:
+    """Sentinel for a seed set equal to all graph nodes (Section 4.9)."""
+
+    def __repr__(self) -> str:
+        return "WILDCARD"
+
+
+#: Pass this instead of a node collection to make a seed set the whole of N.
+WILDCARD = _Wildcard()
+
+#: A score function maps (graph, edge_ids, node_ids) to a float; higher is
+#: better (Section 2, ``SCORE sigma``).
+ScoreFunction = Callable[["object", frozenset, frozenset], float]
+
+#: Queue orders: "size" (smallest tree first — the paper's experimental
+#: setting, Section 5.4) or a callable mapping a SearchTree to a sort key.
+OrderSpec = Union[str, Callable]
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Configuration shared by all CTP evaluation algorithms.
+
+    Parameters
+    ----------
+    uni:
+        Only build unidirectional trees — a result must have a node from
+        which directed paths reach every seed (``UNI`` filter).
+    labels:
+        When set, result trees may only use edges carrying these labels
+        (``LABEL`` filter).
+    max_edges:
+        Upper bound on the number of edges of any built tree (``MAX n``).
+    timeout:
+        Per-CTP evaluation budget in seconds (the paper's ``T``); ``None``
+        means unbounded.
+    limit:
+        Stop after this many results have been found (the ``LIMIT`` used to
+        align with QGSTP in Section 5.4.3).
+    score / top_k:
+        ``SCORE sigma [TOP k]``: score every result with ``score``; when
+        ``top_k`` is set, retain only the k best.  ``top_k`` requires
+        ``score``.
+    order:
+        Priority-queue order for Grow opportunities; ``"size"`` favours the
+        smallest trees (paper default), ``"score"`` uses ``score`` as a
+        guidance heuristic (Section 4.8), or pass a callable.
+    balanced_queues:
+        Section 4.9 (ii): use one priority queue per seed-coverage signature
+        and always grow from the least-filled queue.  ``"auto"`` enables the
+        optimization when seed set sizes are skewed by more than
+        ``balance_ratio`` or a wildcard seed set is present.
+    max_trees:
+        Memory safety valve: abort (returning partial results) after this
+        many retained trees.
+    strict_merge2 (ablation):
+        Use the *literal* Merge2 of Section 4.2 — ``sat(t1) ∩ sat(t2) = ∅``
+        — instead of the relaxed reading this library argues for (overlap
+        allowed through the shared root; DESIGN.md §1.3).  With the strict
+        condition GAM loses completeness on results whose internal
+        branching node is a seed; exposed to make that measurable.
+    mo_inject_always (ablation):
+        Inject Mo copies for *every* new tree (Algorithm 3 read literally)
+        instead of only when seed coverage grew (the Section 4.5 text).
+        Same results, strictly more work; exposed to quantify the cost.
+    """
+
+    uni: bool = False
+    labels: Optional[FrozenSet[str]] = None
+    max_edges: Optional[int] = None
+    timeout: Optional[float] = None
+    limit: Optional[int] = None
+    score: Optional[ScoreFunction] = None
+    top_k: Optional[int] = None
+    order: OrderSpec = "size"
+    balanced_queues: Union[bool, str] = "auto"
+    balance_ratio: float = 32.0
+    max_trees: Optional[int] = None
+    strict_merge2: bool = False
+    mo_inject_always: bool = False
+
+    def __post_init__(self) -> None:
+        if self.top_k is not None and self.score is None:
+            raise ValueError("top_k requires a score function (SCORE sigma TOP k)")
+        if self.top_k is not None and self.top_k <= 0:
+            raise ValueError("top_k must be positive")
+        if self.limit is not None and self.limit <= 0:
+            raise ValueError("limit must be positive")
+        if self.max_edges is not None and self.max_edges < 0:
+            raise ValueError("max_edges must be >= 0")
+        if isinstance(self.order, str) and self.order not in ("size", "score"):
+            raise ValueError(f"unknown order {self.order!r} (use 'size', 'score', or a callable)")
+        if self.order == "score" and self.score is None:
+            raise ValueError("order='score' requires a score function")
+        if self.labels is not None:
+            object.__setattr__(self, "labels", frozenset(self.labels))
+
+    def with_(self, **changes) -> "SearchConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: The default configuration (no filters, paper's smallest-first order).
+DEFAULT_CONFIG = SearchConfig()

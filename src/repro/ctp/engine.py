@@ -1,0 +1,460 @@
+"""The GAM-family search engine (Algorithms 1-5 of the paper).
+
+One engine implements GAM (Section 4.2) and its refinements as three
+orthogonal switches, combined by the named algorithm classes:
+
+====================  ===================  =========  ==========
+algorithm             edge_set_pruning     mo_trees   lesp_guard
+====================  ===================  =========  ==========
+GAM                   no                   no         no
+ESP (Sec 4.4)         yes                  no         no
+MoESP (Sec 4.5)       yes                  yes        no
+LESP (Sec 4.6)        yes                  no         yes
+MoLESP (Sec 4.7)      yes                  yes        yes
+====================  ===================  =========  ==========
+
+Faithfulness notes (also summarized in DESIGN.md §1.3):
+
+* **Merge2** is implemented as ``sat(t1) ∩ sat(t2) ⊆ seed_sets(root)``: two
+  trees may share satisfied seed sets only when the shared root itself is
+  the seed realizing them.  The strict disjointness stated in Section 4.2
+  would contradict GAM's completeness (Property 1: results whose internal
+  branching node is a seed require such merges) and the paper's own MoESP
+  trace of Figure 3.
+* **ESP** never prunes empty edge sets (Definition 4.3), so Init trees
+  survive.
+* **Mo trees** (Algorithm 3) are injected when a Grow/Merge strictly
+  enlarges seed coverage; they bypass the history, are recorded for merging
+  only, and Grow is disabled on any tree whose provenance contains Mo.
+* **Seed signatures** ``ss_n`` (Section 4.6) are updated whenever a Grow
+  builds an ``(n, s)``-rooted path, before the pruning decision, exactly as
+  Algorithm 1 line 10 prescribes.
+* The queue favours the smallest trees with FIFO tie-breaking (the paper's
+  experimental order, Section 5.4); other orders are pluggable (Sec 4.8).
+* Section 4.9: wildcard (``N``) seed sets contribute no Init trees and are
+  satisfied by construction; unbalanced seed sets trigger per-signature
+  priority queues, popping from the least-filled queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro._util import Counter, Deadline, full_mask, popcount
+from repro.ctp.config import DEFAULT_CONFIG, WILDCARD, SearchConfig
+from repro.ctp.results import CTPResultSet, ResultTree
+from repro.ctp.stats import SearchStats
+from repro.ctp.tree import SearchTree, make_grow, make_init, make_merge, make_mo
+from repro.errors import SearchError
+from repro.graph.graph import Graph
+
+
+class _StopSearch(Exception):
+    """Internal: unwind the search on LIMIT / memory valve / deadline."""
+
+    def __init__(self, timed_out: bool = False):
+        self.timed_out = timed_out
+
+
+def normalize_seed_sets(graph: Graph, seed_sets: Sequence) -> Tuple[List[Optional[Tuple[int, ...]]], List[int]]:
+    """Validate seed sets; return (per-position node tuples or None, wildcard positions).
+
+    Each non-wildcard entry is deduplicated and checked against the graph.
+    """
+    if len(seed_sets) < 1:
+        raise SearchError("a CTP needs at least one seed set")
+    normalized: List[Optional[Tuple[int, ...]]] = []
+    wildcard_positions: List[int] = []
+    for position, seed_set in enumerate(seed_sets):
+        if seed_set is WILDCARD:
+            normalized.append(None)
+            wildcard_positions.append(position)
+            continue
+        seen: Set[int] = set()
+        nodes: List[int] = []
+        for node in seed_set:
+            graph.node(node)  # raises GraphError on unknown ids
+            if node not in seen:
+                seen.add(node)
+                nodes.append(node)
+        normalized.append(tuple(nodes))
+    if len(wildcard_positions) == len(seed_sets):
+        raise SearchError("at least one seed set must be explicit (not WILDCARD)")
+    return normalized, wildcard_positions
+
+
+class GAMFamilySearch:
+    """Base class: run one of the GAM-family algorithms on a CTP.
+
+    Subclasses only set the three switches and a name.  Instances are
+    stateless; all per-evaluation state lives in :class:`_GAMRun`.
+    """
+
+    name = "gam-family"
+    edge_set_pruning = False
+    mo_trees = False
+    lesp_guard = False
+
+    def run(self, graph: Graph, seed_sets: Sequence, config: Optional[SearchConfig] = None) -> CTPResultSet:
+        """Evaluate the CTP defined by ``seed_sets`` over ``graph``.
+
+        ``seed_sets`` is a sequence of node-id collections (or ``WILDCARD``).
+        Returns all minimal connecting trees found (Definition 2.8), subject
+        to the filters in ``config``.
+        """
+        run = _GAMRun(graph, seed_sets, config or DEFAULT_CONFIG, self)
+        return run.execute()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class _GAMRun:
+    """State and main loop of a single GAM-family evaluation."""
+
+    def __init__(self, graph: Graph, seed_sets: Sequence, config: SearchConfig, algo: GAMFamilySearch):
+        self.graph = graph
+        self.config = config
+        self.algo = algo
+        self.stats = SearchStats()
+        normalized, self.wildcard_positions = normalize_seed_sets(graph, seed_sets)
+        self.positions = normalized  # per original position: tuple or None
+        # Bit i of every sat mask corresponds to explicit_positions[i].
+        self.explicit_positions: List[int] = [p for p, s in enumerate(normalized) if s is not None]
+        self.explicit_sets: List[Tuple[int, ...]] = [normalized[p] for p in self.explicit_positions]
+        self.full_sat = full_mask(len(self.explicit_sets))
+        self.seed_mask: Dict[int, int] = {}
+        for bit, nodes in enumerate(self.explicit_sets):
+            for node in nodes:
+                self.seed_mask[node] = self.seed_mask.get(node, 0) | (1 << bit)
+        # --- search state (Algorithms 1-5 globals) ---
+        self.hist: Set[FrozenSet[int]] = set()  # edge-set history (ESP)
+        self.rooted_keys: Set[Tuple[int, FrozenSet[int]]] = set()  # rooted-tree history (GAM / LESP)
+        self.trees_rooted_in: Dict[int, List[SearchTree]] = {}
+        self.ss: Dict[int, int] = {}  # seed signatures (Section 4.6)
+        self.result_keys: Set[FrozenSet[int]] = set()
+        self.results: List[ResultTree] = []
+        self.counter = Counter()
+        self.deadline = Deadline(config.timeout)
+        self.timed_out = False
+        self.stopped = False
+        # --- priority queues (single, or one per sat signature: Sec 4.9) ---
+        self.balanced = self._balanced_enabled()
+        self.queues: Dict[int, list] = {}
+        self.total_queued = 0
+        self.priority = self._priority_function()
+
+    # ------------------------------------------------------------------
+    # setup helpers
+    # ------------------------------------------------------------------
+    def _balanced_enabled(self) -> bool:
+        mode = self.config.balanced_queues
+        if mode is True or mode is False:
+            return bool(mode)
+        if self.wildcard_positions:
+            return True
+        sizes = [len(s) for s in self.explicit_sets]
+        if not sizes or min(sizes) == 0:
+            return False
+        return max(sizes) / min(sizes) >= self.config.balance_ratio
+
+    def _priority_function(self):
+        order = self.config.order
+        if order == "size":
+            return lambda tree: tree.size
+        if order == "score":
+            score = self.config.score
+            graph = self.graph
+            return lambda tree: -score(graph, tree.edges, tree.nodes)
+        return order  # user-supplied callable
+
+    # ------------------------------------------------------------------
+    # main loop (Algorithm 1)
+    # ------------------------------------------------------------------
+    def execute(self) -> CTPResultSet:
+        complete = True
+        try:
+            self._init_trees()
+            self._main_loop()
+        except _StopSearch as stop:
+            complete = False
+            self.timed_out = stop.timed_out
+        self.stats.elapsed_seconds = self.deadline.elapsed()
+        results = self._final_results()
+        return CTPResultSet(
+            results=results,
+            stats=self.stats,
+            complete=complete,
+            timed_out=self.timed_out,
+            algorithm=self.algo.name,
+        )
+
+    def _init_trees(self) -> None:
+        if any(not seed_set for seed_set in self.explicit_sets):
+            return  # an empty seed set has no embeddings, hence no results
+        uni = self.config.uni
+        for node, mask in self.seed_mask.items():
+            tree = make_init(node, mask, uni)
+            self.stats.init_trees += 1
+            self.ss[node] = self.ss.get(node, 0) | mask
+            work = self._absorb(tree, gained=True)
+            if work:
+                self._merge_cascade(deque(work))
+
+    def _main_loop(self) -> None:
+        deadline = self.deadline
+        graph = self.graph
+        seed_mask = self.seed_mask
+        uni = self.config.uni
+        while self.total_queued:
+            if deadline.expired():
+                raise _StopSearch(timed_out=True)
+            entry = self._pop()
+            _, _, tree, edge_id, other, outgoing = entry
+            edge = graph.edge(edge_id)
+            grown = make_grow(
+                tree,
+                edge_id,
+                other,
+                seed_mask.get(other, 0),
+                other in seed_mask,
+                edge.weight,
+                outgoing,
+                uni,
+            )
+            self.stats.grows += 1
+            if grown is None:  # UNI filter rejected the direction
+                self.stats.pruned_filters += 1
+                continue
+            # Algorithm 1 line 10: update the seed signature of the new root
+            # before any pruning decision.
+            if grown.path_seed is not None:
+                self.ss[grown.root] = self.ss.get(grown.root, 0) | seed_mask[grown.path_seed]
+            if not self._is_new(grown):
+                self.stats.pruned_history += 1
+                continue
+            work = self._absorb(grown, gained=grown.sat != tree.sat)
+            if work:
+                self._merge_cascade(deque(work))
+
+    # ------------------------------------------------------------------
+    # queue management (single or balanced, Section 4.9 (ii))
+    # ------------------------------------------------------------------
+    def _queue_key(self, tree: SearchTree) -> int:
+        return tree.sat if self.balanced else 0
+
+    def _push_grows(self, tree: SearchTree) -> None:
+        """Queue every legal Grow opportunity of ``tree`` (Algorithm 2 l.9-13)."""
+        config = self.config
+        labels = config.labels
+        max_edges = config.max_edges
+        if max_edges is not None and tree.size + 1 > max_edges:
+            return
+        graph = self.graph
+        seed_mask = self.seed_mask
+        nodes = tree.nodes
+        sat = tree.sat
+        queue = self.queues.setdefault(self._queue_key(tree), [])
+        priority = self.priority(tree)
+        for edge_id, other, outgoing in graph.adjacent(tree.root):
+            if other in nodes:  # Grow1
+                continue
+            if seed_mask.get(other, 0) & sat:  # Grow2
+                continue
+            if labels is not None and graph.edge(edge_id).label not in labels:
+                continue
+            heapq.heappush(queue, (priority, self.counter.next(), tree, edge_id, other, outgoing))
+            self.total_queued += 1
+            self.stats.queue_pushes += 1
+
+    def _pop(self):
+        if self.balanced:
+            # Grow from the least-filled non-empty queue (Section 4.9).
+            key = min(
+                (k for k, q in self.queues.items() if q),
+                key=lambda k: (len(self.queues[k]), k),
+            )
+            queue = self.queues[key]
+        else:
+            queue = self.queues[0]
+        self.total_queued -= 1
+        return heapq.heappop(queue)
+
+    # ------------------------------------------------------------------
+    # pruning (Algorithm 4: isNew)
+    # ------------------------------------------------------------------
+    def _is_new(self, tree: SearchTree) -> bool:
+        if not tree.edges:
+            # ESP never discards an empty edge set (Definition 4.3).
+            return tree.rooted_key() not in self.rooted_keys
+        if not self.algo.edge_set_pruning:
+            return tree.rooted_key() not in self.rooted_keys
+        if tree.edges not in self.hist:
+            return True
+        if self.algo.lesp_guard:
+            signature = self.ss.get(tree.root, 0)
+            if (
+                popcount(signature) >= 3
+                and self.graph.degree(tree.root) >= 3
+                and tree.rooted_key() not in self.rooted_keys
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # tree registration (Algorithm 2: processTree / Algorithm 3)
+    # ------------------------------------------------------------------
+    def _absorb(self, tree: SearchTree, gained: bool) -> List[SearchTree]:
+        """Register a tree that passed ``_is_new``; return merge-cascade work.
+
+        Results are reported and not recorded for merging (Algorithm 2);
+        other trees are indexed in ``TreesRootedIn``, get their Mo copies
+        when they gained seed coverage (Section 4.5), and have their Grow
+        opportunities queued unless their provenance contains Mo.
+        """
+        if self.algo.edge_set_pruning:
+            self.hist.add(tree.edges)
+        self.rooted_keys.add(tree.rooted_key())
+        self.stats.trees_kept += 1
+        if self.config.max_trees is not None and self.stats.trees_kept > self.config.max_trees:
+            raise _StopSearch()
+        if tree.sat == self.full_sat:
+            self._record_result(tree)
+            if not self.wildcard_positions:
+                return []
+            # Section 4.9 (i): with an N seed set, any encountered node is a
+            # valid match, so a covering tree is a result *and* every
+            # extension of it yields further results — keep exploring.
+        work = [tree]
+        if tree.edges:
+            self.trees_rooted_in.setdefault(tree.root, []).append(tree)
+            if self.algo.mo_trees and (gained or self.config.mo_inject_always):
+                work.extend(self._inject_mo_copies(tree))
+        if not tree.mo_tainted:
+            self._push_grows(tree)
+        return work
+
+    def _inject_mo_copies(self, tree: SearchTree) -> List[SearchTree]:
+        """Algorithm 3 lines 2-5: re-root the tree at each contained seed."""
+        copies = []
+        seed_mask = self.seed_mask
+        for node in tree.nodes:
+            if node == tree.root or node not in seed_mask:
+                continue
+            key = (node, tree.edges)
+            if key in self.rooted_keys:
+                continue  # an identical rooted tree already exists
+            in_deg = 0
+            if self.config.uni:
+                graph = self.graph
+                in_deg = sum(1 for e in tree.edges if graph.edge(e).target == node)
+            copy = make_mo(tree, node, in_deg)
+            self.stats.mo_copies += 1
+            self.rooted_keys.add(key)
+            self.trees_rooted_in.setdefault(node, []).append(copy)
+            copies.append(copy)
+        return copies
+
+    # ------------------------------------------------------------------
+    # aggressive merging (Algorithm 5: MergeAll)
+    # ------------------------------------------------------------------
+    def _merge_cascade(self, work: deque) -> None:
+        config = self.config
+        uni = config.uni
+        max_edges = config.max_edges
+        seed_mask = self.seed_mask
+        while work:
+            if self.deadline.expired():
+                raise _StopSearch(timed_out=True)
+            t1 = work.popleft()
+            if not t1.edges:  # merging with a one-node tree is a no-op
+                continue
+            partners = self.trees_rooted_in.get(t1.root)
+            if not partners:
+                continue
+            root_mask = 0 if config.strict_merge2 else seed_mask.get(t1.root, 0)
+            for tp in list(partners):
+                if tp is t1:
+                    continue
+                self.stats.merges_attempted += 1
+                # Merge2 (relaxed, see module docstring): overlapping seed
+                # sets are only allowed through the shared root.  Under the
+                # strict_merge2 ablation, any overlap blocks the merge.
+                if (t1.sat & tp.sat) & ~root_mask:
+                    continue
+                # Merge1: the trees share exactly the root.
+                if len(t1.nodes & tp.nodes) != 1:
+                    continue
+                if max_edges is not None and t1.size + tp.size > max_edges:
+                    continue
+                merged = make_merge(t1, tp, uni)
+                if merged is None:
+                    self.stats.pruned_filters += 1
+                    continue
+                if not self._is_new(merged):
+                    self.stats.pruned_history += 1
+                    continue
+                self.stats.merges += 1
+                gained = merged.sat != t1.sat and merged.sat != tp.sat
+                work.extend(self._absorb(merged, gained))
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def _record_result(self, tree: SearchTree) -> None:
+        if self.config.mo_inject_always and not self._is_minimal(tree):
+            # Algorithm 3 read literally (the mo_inject_always ablation)
+            # re-roots trees whose old root is a non-seed leaf; merges of
+            # those can cover all seed sets without being minimal.  Under
+            # the Section 4.5 gain condition this cannot happen, so the
+            # check lives only on this ablation path.
+            self.stats.pruned_filters += 1
+            return
+        if tree.edges in self.result_keys:
+            self.stats.duplicate_results += 1
+            return
+        self.result_keys.add(tree.edges)
+        seeds: List[Optional[int]] = [None] * len(self.positions)
+        for position in self.wildcard_positions:
+            # The N match is the tree's only possibly-non-seed leaf: the root.
+            seeds[position] = tree.root
+        for node in tree.nodes:
+            mask = self.seed_mask.get(node, 0) & tree.sat
+            if mask:
+                for bit in range(len(self.explicit_sets)):
+                    if mask & (1 << bit):
+                        seeds[self.explicit_positions[bit]] = node
+        score = None
+        if self.config.score is not None:
+            score = self.config.score(self.graph, tree.edges, tree.nodes)
+        self.results.append(ResultTree(edges=tree.edges, nodes=tree.nodes, seeds=tuple(seeds), weight=tree.weight, score=score))
+        self.stats.results_found += 1
+        if self.config.limit is not None and self.stats.results_found >= self.config.limit:
+            raise _StopSearch()
+
+    def _is_minimal(self, tree: SearchTree) -> bool:
+        """Every leaf is a seed (wildcard trees may keep the root free)."""
+        if not tree.edges:
+            return True
+        degrees: Dict[int, int] = {}
+        graph = self.graph
+        for edge_id in tree.edges:
+            edge = graph.edge(edge_id)
+            degrees[edge.source] = degrees.get(edge.source, 0) + 1
+            degrees[edge.target] = degrees.get(edge.target, 0) + 1
+        allowed_free = 1 if self.wildcard_positions else 0
+        free = 0
+        for node, degree in degrees.items():
+            if degree == 1 and node not in self.seed_mask:
+                free += 1
+                if free > allowed_free:
+                    return False
+        return True
+
+    def _final_results(self) -> List[ResultTree]:
+        results = self.results
+        if self.config.top_k is not None and len(results) > self.config.top_k:
+            results = sorted(results, key=lambda r: (-(r.score or 0.0), r.size))[: self.config.top_k]
+        return results

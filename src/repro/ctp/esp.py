@@ -1,0 +1,27 @@
+"""ESP — GAM with Edge Set Pruning (Section 4.4).
+
+ESP discards any provenance over a non-empty edge set for which another
+provenance (possibly differently rooted) was already built.  This removes
+the dominant source of repeated work in GAM and speeds it up considerably
+(Figure 11), at the price of completeness: depending on the execution
+order, the surviving provenance for an edge set may be rooted in a node
+from which the search cannot continue toward a result (Figure 3).
+
+Guarantee kept (Property 3): with **two** seed sets, every result is still
+found, whatever the execution order — path results are built either by
+Grow chains from one seed or by the first Merge at an internal meeting
+node, and the first provenance of an edge set is never pruned.
+"""
+
+from __future__ import annotations
+
+from repro.ctp.engine import GAMFamilySearch
+
+
+class ESPSearch(GAMFamilySearch):
+    """GAM + edge-set pruning; complete for m <= 2 only."""
+
+    name = "esp"
+    edge_set_pruning = True
+    mo_trees = False
+    lesp_guard = False

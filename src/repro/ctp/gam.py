@@ -1,0 +1,30 @@
+"""GAM — Grow and Aggressive Merge (Section 4.2, after [Anadiotis et al. 2022]).
+
+GAM distinguishes a root in every tree it builds.  Grow opportunities are
+kept in a priority queue; each popped ``(tree, edge)`` pair extends the tree
+from its root, and every new tree is *aggressively merged* with all
+compatible same-root trees (conditions Merge1 and Merge2).
+
+Properties established by the paper and verified in our tests:
+
+* **Property 1** — GAM is complete (finds every CTP result, given time).
+* **Property 2** — every result GAM reports is minimal by construction, so
+  no post-hoc minimization is needed (unlike the BFT family).
+
+GAM discards all but the first provenance built for a given *rooted tree*;
+it may still build several rooted trees over the same edge set, which is the
+redundancy ESP (Section 4.4) attacks.
+"""
+
+from __future__ import annotations
+
+from repro.ctp.engine import GAMFamilySearch
+
+
+class GAMSearch(GAMFamilySearch):
+    """The complete GAM algorithm (no edge-set pruning)."""
+
+    name = "gam"
+    edge_set_pruning = False
+    mo_trees = False
+    lesp_guard = False

@@ -1,0 +1,29 @@
+"""LESP — Limited Edge-Set Pruning (Section 4.6).
+
+LESP maintains, for every node ``n``, a *seed signature* ``ss_n``: a bitmask
+of the seed sets from which an ``(n, s)``-rooted path (Definition 4.4) has
+reached ``n`` so far.  Edge-set pruning is then *limited*: a tree rooted in
+``n`` is spared from pruning when
+
+* ``popcount(ss_n) >= 3`` — paths from at least three different seed sets
+  have met at ``n``, and
+* ``deg(n) >= 3`` — the graph allows three or more rooted paths to meet, and
+* no identical tree rooted at ``n`` exists yet.
+
+Guarantee (Property 6): every ``(u, n)``-rooted merge, ``u >= 3``, is found.
+LESP alone remains incomplete for results that are not rooted merges, e.g.
+the two-branching-node result of Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.ctp.engine import GAMFamilySearch
+
+
+class LESPSearch(GAMFamilySearch):
+    """ESP + the seed-signature pruning exception."""
+
+    name = "lesp"
+    edge_set_pruning = True
+    mo_trees = False
+    lesp_guard = True

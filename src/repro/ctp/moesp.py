@@ -1,0 +1,29 @@
+"""MoESP — Merge-oriented ESP (Section 4.5).
+
+Whenever a Grow or Merge produces a tree with strictly more seeds than its
+children, MoESP *injects* copies of that tree re-rooted at each seed node it
+contains (``Mo`` provenances).  Mo trees can Merge but never Grow, and Grow
+is disabled on any tree whose provenance includes a Mo step.
+
+Guarantees (verified in tests):
+
+* **Property 4** — every 2-piecewise-simple result (Definition 4.7) is
+  found, for any number of seed sets and any execution order.
+* **Property 5** — in particular, every *path* result is found.
+
+MoESP can still miss results containing a 3-simple (or larger) edge set,
+e.g. the star of Figure 5 — that is LESP's job.
+"""
+
+from __future__ import annotations
+
+from repro.ctp.engine import GAMFamilySearch
+
+
+class MoESPSearch(GAMFamilySearch):
+    """ESP + seed-rooted tree injection; finds all 2ps results."""
+
+    name = "moesp"
+    edge_set_pruning = True
+    mo_trees = True
+    lesp_guard = False

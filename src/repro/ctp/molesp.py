@@ -1,0 +1,29 @@
+"""MoLESP — the paper's main algorithm (Section 4.7, Algorithms 1-5).
+
+MoLESP combines ESP's edge-set pruning with **both** orthogonal fixes:
+MoESP's seed-rooted tree injection and LESP's signature-based pruning
+exception.  It therefore finds everything MoESP and LESP find, and more:
+
+* **Property 7** — all 3-piecewise-simple results are found;
+* **Property 8** — MoLESP is *complete* for m <= 3 seed sets (the most
+  common CTPs in practice);
+* **Property 9** — for any m, every result whose simple-tree decomposition
+  (Definition 4.6) consists of ``(u, n)``-rooted merges is found.
+
+These guarantees hold for any execution order, so MoLESP remains compatible
+with arbitrary score functions steering the priority queue (requirement R2 /
+Section 4.8).
+"""
+
+from __future__ import annotations
+
+from repro.ctp.engine import GAMFamilySearch
+
+
+class MoLESPSearch(GAMFamilySearch):
+    """The full algorithm: ESP + Mo trees + LESP guard."""
+
+    name = "molesp"
+    edge_set_pruning = True
+    mo_trees = True
+    lesp_guard = True

@@ -1,0 +1,61 @@
+"""Search statistics.
+
+Figure 11 of the paper plots the *number of provenances* each algorithm
+builds next to its runtime — "the algorithm running times closely track the
+numbers of built provenances".  :class:`SearchStats` counts every event the
+engines generate so the benchmark harness can regenerate those plots and so
+tests can assert pruning behaviour precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated during one CTP evaluation."""
+
+    init_trees: int = 0
+    grows: int = 0
+    merges_attempted: int = 0
+    merges: int = 0
+    mo_copies: int = 0
+    pruned_history: int = 0
+    pruned_filters: int = 0
+    trees_kept: int = 0
+    queue_pushes: int = 0
+    results_found: int = 0
+    duplicate_results: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def provenances(self) -> int:
+        """Total provenances built and retained (Figure 11 d-f metric)."""
+        return self.trees_kept + self.mo_copies
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "init_trees": self.init_trees,
+            "grows": self.grows,
+            "merges_attempted": self.merges_attempted,
+            "merges": self.merges,
+            "mo_copies": self.mo_copies,
+            "pruned_history": self.pruned_history,
+            "pruned_filters": self.pruned_filters,
+            "trees_kept": self.trees_kept,
+            "queue_pushes": self.queue_pushes,
+            "results_found": self.results_found,
+            "duplicate_results": self.duplicate_results,
+            "provenances": self.provenances,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def format(self) -> str:
+        return (
+            f"provenances={self.provenances} (kept={self.trees_kept}, mo={self.mo_copies}) "
+            f"grows={self.grows} merges={self.merges}/{self.merges_attempted} "
+            f"pruned={self.pruned_history} results={self.results_found} "
+            f"elapsed={self.elapsed_seconds * 1000.0:.1f}ms"
+        )

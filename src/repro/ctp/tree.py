@@ -1,0 +1,216 @@
+"""Rooted search trees with provenance (Definition 4.1).
+
+A :class:`SearchTree` is immutable.  Besides the rooted tree itself (root +
+edge set + node set) it carries the derived state every algorithm in the GAM
+family needs in its hot path:
+
+``sat``
+    bitmask of the seed sets satisfied by the tree (Observation 1);
+
+``path_seed``
+    if the tree is an ``(root, s)``-rooted path (Definition 4.4) this is the
+    seed ``s``; used to maintain LESP seed signatures;
+
+``mo_tainted``
+    true when the provenance contains a ``Mo`` step — Grow is disabled on
+    such trees (Section 4.5);
+
+``arb_root`` / ``root_in_deg``
+    arborescence bookkeeping for the ``UNI`` filter (Section 4.8): under
+    unidirectional search every tree must have a node from which a directed
+    path reaches every other node; both fields are maintained in O(1) per
+    Grow/Merge.
+
+Construction goes through :func:`make_init`, :func:`make_grow`,
+:func:`make_merge` and :func:`make_mo`; the *semantic* pre-conditions
+(Grow1/Grow2, Merge1/Merge2, filters) are the engine's responsibility, while
+the UNI arborescence rules live here because they are intrinsically about
+tree shape.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+#: Provenance kinds (Definition 4.1 plus the Mo step of Section 4.5).
+INIT, GROW, MERGE, MO = "init", "grow", "merge", "mo"
+
+
+class SearchTree:
+    """An immutable rooted tree built during CTP search."""
+
+    __slots__ = (
+        "root",
+        "edges",
+        "nodes",
+        "sat",
+        "weight",
+        "kind",
+        "mo_tainted",
+        "path_seed",
+        "arb_root",
+        "root_in_deg",
+    )
+
+    def __init__(
+        self,
+        root: int,
+        edges: FrozenSet[int],
+        nodes: FrozenSet[int],
+        sat: int,
+        weight: float,
+        kind: str,
+        mo_tainted: bool,
+        path_seed: Optional[int],
+        arb_root: Optional[int],
+        root_in_deg: int,
+    ):
+        self.root = root
+        self.edges = edges
+        self.nodes = nodes
+        self.sat = sat
+        self.weight = weight
+        self.kind = kind
+        self.mo_tainted = mo_tainted
+        self.path_seed = path_seed
+        self.arb_root = arb_root
+        self.root_in_deg = root_in_deg
+
+    @property
+    def size(self) -> int:
+        """Number of edges."""
+        return len(self.edges)
+
+    def rooted_key(self):
+        """Identity of the *rooted tree* (root + edge set), Section 4.2."""
+        return (self.root, self.edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SearchTree(root={self.root}, edges={sorted(self.edges)}, "
+            f"sat={bin(self.sat)}, kind={self.kind})"
+        )
+
+
+def make_init(node: int, sat: int, uni: bool) -> SearchTree:
+    """``Init(n)`` — a one-node tree for a seed (Definition 4.1 case 1)."""
+    return SearchTree(
+        root=node,
+        edges=frozenset(),
+        nodes=frozenset((node,)),
+        sat=sat,
+        weight=0.0,
+        kind=INIT,
+        mo_tainted=False,
+        path_seed=node,
+        arb_root=node if uni else None,
+        root_in_deg=0,
+    )
+
+
+def make_grow(
+    tree: SearchTree,
+    edge_id: int,
+    new_root: int,
+    new_root_sat: int,
+    new_root_is_seed: bool,
+    edge_weight: float,
+    outgoing: bool,
+    uni: bool,
+) -> Optional[SearchTree]:
+    """``Grow(t, e)`` — extend ``tree`` from its root along ``edge_id``.
+
+    ``outgoing`` tells whether the edge leaves the current root (i.e. is
+    directed root -> new_root).  Returns ``None`` when ``uni`` is set and the
+    extended tree would not be an arborescence.
+    """
+    if uni:
+        if outgoing:
+            # root -> new_root keeps the current arborescence root.
+            arb_root = tree.arb_root if tree.edges else tree.root
+            root_in_deg = 1
+        else:
+            # new_root -> root: only legal if the old root was the
+            # arborescence root (in-degree 0); the new node takes over.
+            if tree.edges and tree.arb_root != tree.root:
+                return None
+            arb_root = new_root
+            root_in_deg = 0
+    else:
+        arb_root = None
+        root_in_deg = 0
+    # A tree stays an (n, s)-rooted path while it grows from the root of a
+    # path and does not pick up a second seed (Definition 4.4).
+    if tree.path_seed is not None and not new_root_is_seed:
+        path_seed = tree.path_seed
+    else:
+        path_seed = None
+    return SearchTree(
+        root=new_root,
+        edges=tree.edges | {edge_id},
+        nodes=tree.nodes | {new_root},
+        sat=tree.sat | new_root_sat,
+        weight=tree.weight + edge_weight,
+        kind=GROW,
+        mo_tainted=tree.mo_tainted,
+        path_seed=path_seed,
+        arb_root=arb_root,
+        root_in_deg=root_in_deg,
+    )
+
+
+def make_merge(t1: SearchTree, t2: SearchTree, uni: bool) -> Optional[SearchTree]:
+    """``Merge(t1, t2)`` — union of two trees sharing exactly their root.
+
+    The engine has already verified Merge1/Merge2; here we combine the
+    derived state and enforce the UNI arborescence rule: the merged tree is
+    an arborescence iff at least one operand is rooted (in the arborescence
+    sense) at the shared node.
+    """
+    root = t1.root
+    if uni:
+        if t1.arb_root == root:
+            arb_root = t2.arb_root
+        elif t2.arb_root == root:
+            arb_root = t1.arb_root
+        else:
+            return None
+        root_in_deg = t1.root_in_deg + t2.root_in_deg
+        if root_in_deg > 1:
+            return None
+    else:
+        arb_root = None
+        root_in_deg = 0
+    return SearchTree(
+        root=root,
+        edges=t1.edges | t2.edges,
+        nodes=t1.nodes | t2.nodes,
+        sat=t1.sat | t2.sat,
+        weight=t1.weight + t2.weight,
+        kind=MERGE,
+        mo_tainted=t1.mo_tainted or t2.mo_tainted,
+        path_seed=None,
+        arb_root=arb_root,
+        root_in_deg=root_in_deg,
+    )
+
+
+def make_mo(tree: SearchTree, new_root: int, new_root_in_deg: int) -> SearchTree:
+    """``Mo(t, r)`` — re-root ``tree`` at the seed ``new_root`` (Section 4.5).
+
+    The edge set is unchanged; the copy is merge-only (``mo_tainted``).
+    ``new_root_in_deg`` is the in-degree of ``new_root`` inside the tree,
+    which the engine computes from the graph (needed for UNI merges).
+    """
+    return SearchTree(
+        root=new_root,
+        edges=tree.edges,
+        nodes=tree.nodes,
+        sat=tree.sat,
+        weight=tree.weight,
+        kind=MO,
+        mo_tainted=True,
+        path_seed=None,
+        arb_root=tree.arb_root,
+        root_in_deg=new_root_in_deg,
+    )

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph operations (unknown nodes, bad edges...)."""
+
+
+class StorageError(ReproError):
+    """Raised by the relational substrate (schema mismatches, bad joins)."""
+
+
+class QueryError(ReproError):
+    """Base class for query-related errors."""
+
+
+class ParseError(QueryError):
+    """Raised when EQL text cannot be parsed.
+
+    Carries the position of the offending token to help users fix queries.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        self.position = position
+        self.line = line
+        suffix = ""
+        if line >= 0:
+            suffix = f" (line {line})"
+        elif position >= 0:
+            suffix = f" (at offset {position})"
+        super().__init__(message + suffix)
+
+
+class ValidationError(QueryError):
+    """Raised when a syntactically valid query violates EQL well-formedness.
+
+    Examples: a CTP tree variable used twice (Def 2.6), a disconnected BGP
+    (Def 2.4), or a predicate over several variables (Def 2.2).
+    """
+
+
+class EvaluationError(QueryError):
+    """Raised when query evaluation fails for semantic reasons."""
+
+
+class SearchError(ReproError):
+    """Raised for invalid CTP search configurations."""
+
+
+class BudgetExceeded(ReproError):
+    """Internal signal used to unwind a search when a deadline fires.
+
+    Searches catch this and return the results accumulated so far, flagging
+    the result set as partial; it never escapes the public API.
+    """
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload-generator parameters."""

@@ -1,0 +1,39 @@
+"""Graph substrate: the data model of Definition 2.1.
+
+A :class:`~repro.graph.graph.Graph` is a directed multigraph whose nodes and
+edges carry a label, optional types, and arbitrary properties.  Connection
+search (Section 4 of the paper) traverses edges in **both** directions, so
+adjacency is indexed bidirectionally.
+"""
+
+from repro.graph.graph import Edge, Graph, Node
+from repro.graph.builder import GraphBuilder, graph_from_triples
+from repro.graph.io import load_graph_json, load_graph_tsv, save_graph_json, save_graph_tsv
+from repro.graph.stats import GraphStats, connected_components, graph_stats
+from repro.graph.traversal import (
+    ball,
+    bfs_distances,
+    dijkstra_distances,
+    eccentricity_between,
+    reachable_set,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "GraphBuilder",
+    "GraphStats",
+    "Node",
+    "ball",
+    "bfs_distances",
+    "connected_components",
+    "dijkstra_distances",
+    "eccentricity_between",
+    "graph_from_triples",
+    "graph_stats",
+    "load_graph_json",
+    "load_graph_tsv",
+    "reachable_set",
+    "save_graph_json",
+    "save_graph_tsv",
+]

@@ -1,0 +1,206 @@
+"""The paper's worked-example graphs, reconstructed as reusable datasets.
+
+* :func:`figure1` — the running investigative-journalism example (Section 1
+  and 2).  Node ids and edge labels follow the paper exactly; edge endpoints
+  are reconstructed from every constraint stated in the text (the embeddings
+  of BGP ``b1``, the seed sets of query ``Q1``, and the two spelled-out CTP
+  results ``t_alpha = {e10, e9, e11}`` and ``t_beta = {e1, e2, e17, e16}``).
+* :func:`figure3` — the 5-edge line used to show ESP incompleteness
+  (Section 4.4) and the MoESP fix (Section 4.5).
+* :func:`figure5` — the 3-arm star where MoESP fails and LESP's seed
+  signatures protect the decisive Merge (Section 4.6).
+* :func:`figure6` — the 4-seed graph where LESP remains incomplete.
+* :func:`figure7` — a 6-seed instance whose decomposition consists of
+  rooted merges, hence guaranteed for MoLESP (Property 9).
+* :func:`figure4` — the 6-seed comb-like graph of the MoESP discussion with
+  the 2-piecewise-simple result (Property 4).
+
+Each function returns ``(graph, seeds)`` where ``seeds`` is the tuple of
+seed *sets* (tuples of node ids) used in the paper's discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+SeedSets = Tuple[Tuple[int, ...], ...]
+
+
+def figure1() -> Graph:
+    """The sample data graph of Figure 1 (12 nodes, 19 edges).
+
+    Edge ids match the paper's numbering (``e1`` is edge id 0, ..., ``e19``
+    is edge id 18).  The CTP results discussed in Section 2 are::
+
+        t_alpha = {e10, e9, e11}   (Carole, Doug, Elon)
+        t_beta  = {e1, e2, e17, e16}  (Bob, Alice, Elon)
+    """
+    b = GraphBuilder("figure1")
+    # Nodes in the paper's id order (graph ids are 0-based: n1 -> 0).
+    b.node("OrgB", types=("company",))
+    b.node("Bob", types=("entrepreneur",))
+    b.node("Alice", types=("entrepreneur",))
+    b.node("Carole", types=("entrepreneur",))
+    b.node("OrgA", types=("company",))
+    b.node("Doug", types=("entrepreneur",))
+    b.node("OrgC", types=("company",))
+    b.node("France", types=("country",))
+    b.node("Elon", types=("politician",))
+    b.node("USA", types=("country",))
+    b.node("National Liberal Party")
+    b.node("Falcon", types=("politician",))
+    # Edges e1..e19 with the paper's labels; endpoints reconstructed from the
+    # constraints in Section 2 (see module docstring).
+    b.triple("Bob", "founded", "OrgB")  # e1
+    b.triple("Alice", "investsIn", "OrgB")  # e2
+    b.triple("Carole", "parentOf", "Bob")  # e3
+    b.triple("OrgA", "locatedIn", "France")  # e4
+    b.triple("Bob", "citizenOf", "USA")  # e5
+    b.triple("Carole", "citizenOf", "USA")  # e6
+    b.triple("Doug", "founded", "OrgA")  # e7
+    b.triple("Carole", "CEO", "OrgA")  # e8
+    b.triple("Doug", "investsIn", "OrgC")  # e9
+    b.triple("Carole", "founded", "OrgC")  # e10
+    b.triple("Elon", "parentOf", "Doug")  # e11
+    b.triple("Alice", "citizenOf", "France")  # e12
+    b.triple("Doug", "citizenOf", "France")  # e13
+    b.triple("Elon", "citizenOf", "France")  # e14
+    b.triple("OrgC", "locatedIn", "USA")  # e15
+    b.triple("Elon", "affiliation", "National Liberal Party")  # e16
+    b.triple("OrgB", "funds", "National Liberal Party")  # e17
+    b.triple("Falcon", "affiliation", "National Liberal Party")  # e18
+    b.triple("Falcon", "investsIn", "OrgC")  # e19
+    return b.graph
+
+
+def figure1_edge(paper_number: int) -> int:
+    """Translate the paper's 1-based edge number to the graph's edge id."""
+    return paper_number - 1
+
+
+def figure1_seed_sets(graph: Graph) -> SeedSets:
+    """The seed sets of query Q1: US entrepreneurs, French entrepreneurs,
+    French politicians — ``S1={Bob, Carole}, S2={Alice, Doug}, S3={Elon}``."""
+    ids: Dict[str, int] = {graph.node(n).label: n for n in graph.node_ids()}
+    return (
+        (ids["Bob"], ids["Carole"]),
+        (ids["Alice"], ids["Doug"]),
+        (ids["Elon"],),
+    )
+
+
+def figure3() -> Tuple[Graph, SeedSets]:
+    """Figure 3: line ``A - 1 - 2 - B - 3 - C`` with seeds {A}, {B}, {C}."""
+    b = GraphBuilder("figure3")
+    b.triple("A", "e", "1")
+    b.triple("1", "e", "2")
+    b.triple("2", "e", "B")
+    b.triple("B", "e", "3")
+    b.triple("3", "e", "C")
+    seeds = ((b.id_of("A"),), (b.id_of("B"),), (b.id_of("C"),))
+    return b.graph, seeds
+
+
+def figure4() -> Tuple[Graph, SeedSets]:
+    """Figure 4: the 6-seed graph of the MoESP discussion.
+
+    The 2-piecewise-simple result is the union of the simple edge sets
+    ``{A-4-D, A-1-2-B, B-7-E, B-8-F, B-3-C}``; an extra path ``D-10-E``
+    provides an alternative (non-minimal once combined) connection.
+    """
+    b = GraphBuilder("figure4")
+    # main line
+    b.triple("A", "e", "1")
+    b.triple("1", "e", "2")
+    b.triple("2", "e", "B")
+    b.triple("B", "e", "3")
+    b.triple("3", "e", "C")
+    # bristles
+    b.triple("A", "e", "4")
+    b.triple("4", "e", "D")
+    b.triple("B", "e", "7")
+    b.triple("7", "e", "E")
+    b.triple("B", "e", "8")
+    b.triple("8", "e", "F")
+    # alternative bottom path
+    b.triple("D", "e", "10")
+    b.triple("10", "e", "E")
+    seeds = tuple((b.id_of(s),) for s in "ABCDEF")
+    return b.graph, seeds
+
+
+def figure4_result_edges(graph: Graph) -> frozenset:
+    """Edge ids of the 2ps result highlighted in Figure 4."""
+    wanted = {("A", "1"), ("1", "2"), ("2", "B"), ("B", "3"), ("3", "C"), ("A", "4"), ("4", "D"), ("B", "7"), ("7", "E"), ("B", "8"), ("8", "F")}
+    out = set()
+    for edge in graph.edges():
+        pair = (graph.node(edge.source).label, graph.node(edge.target).label)
+        if pair in wanted:
+            out.add(edge.id)
+    return frozenset(out)
+
+
+def figure5() -> Tuple[Graph, SeedSets]:
+    """Figure 5: center ``x`` with 2-edge arms to seeds A, B, C.
+
+    The only result is 3-simple; MoESP may miss it, LESP protects it.
+    """
+    b = GraphBuilder("figure5")
+    b.triple("A", "e", "1")
+    b.triple("1", "e", "x")
+    b.triple("B", "e", "2")
+    b.triple("2", "e", "x")
+    b.triple("C", "e", "3")
+    b.triple("3", "e", "x")
+    seeds = ((b.id_of("A"),), (b.id_of("B"),), (b.id_of("C"),))
+    return b.graph, seeds
+
+
+def figure6() -> Tuple[Graph, SeedSets]:
+    """Figure 6: the 4-seed LESP incompleteness example.
+
+    ``A-1-2-B`` and ``C-3-4-D`` with a bridge ``2-x-3``; the unique result is
+    4-simple with two branching nodes (2 and 3), hence not a rooted merge.
+    """
+    b = GraphBuilder("figure6")
+    b.triple("A", "e", "1")
+    b.triple("1", "e", "2")
+    b.triple("2", "e", "B")
+    b.triple("2", "e", "x")
+    b.triple("x", "e", "3")
+    b.triple("3", "e", "C")
+    b.triple("3", "e", "4")
+    b.triple("4", "e", "D")
+    seeds = tuple((b.id_of(s),) for s in "ABCD")
+    return b.graph, seeds
+
+
+def figure7() -> Tuple[Graph, SeedSets]:
+    """A 6-seed instance covered by Property 9 (restricted completeness).
+
+    Structurally equivalent to Figure 7: the unique result decomposes into a
+    ``(3, x)``-rooted merge (arms to A, B, C) and a ``(4, y)``-rooted merge
+    (arms to B, D, E, F) sharing the seed B, so MoLESP must find it.
+    """
+    b = GraphBuilder("figure7")
+    # star 1, centre x, 2-edge arms to A, B, C
+    b.triple("A", "e", "a1")
+    b.triple("a1", "e", "x")
+    b.triple("B", "e", "b1")
+    b.triple("b1", "e", "x")
+    b.triple("C", "e", "c1")
+    b.triple("c1", "e", "x")
+    # star 2, centre y, 2-edge arms to B, D, E, F
+    b.triple("B", "e", "b2")
+    b.triple("b2", "e", "y")
+    b.triple("D", "e", "d1")
+    b.triple("d1", "e", "y")
+    b.triple("E", "e", "e1")
+    b.triple("e1", "e", "y")
+    b.triple("F", "e", "f1")
+    b.triple("f1", "e", "y")
+    seeds = tuple((b.id_of(s),) for s in "ABCDEF")
+    return b.graph, seeds

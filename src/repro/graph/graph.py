@@ -1,0 +1,270 @@
+"""Core graph model (Definition 2.1 of the paper).
+
+A graph ``G(N, E)`` has labelled nodes and labelled, *directed* edges.  The
+paper's connection search treats the graph as undirected (requirement R3), so
+the adjacency index stores, for every node, all incident edges together with
+their orientation; the direction is retained because the ``UNI`` CTP filter
+and several baselines need it.
+
+Nodes and edges both expose ``label`` plus a free-form property mapping
+(``P`` in Definition 2.2); node *types* (RDF types / PG labels) are kept in a
+dedicated set because they are so frequently filtered on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+
+# An adjacency entry: (edge id, other endpoint id, edge leaves this node?).
+AdjacencyEntry = Tuple[int, int, bool]
+
+
+class Node:
+    """A graph node: integer id, label, types, and arbitrary properties."""
+
+    __slots__ = ("id", "label", "types", "props")
+
+    def __init__(self, node_id: int, label: str = "", types: Iterable[str] = (), props: Optional[Dict[str, Any]] = None):
+        self.id = node_id
+        self.label = label
+        self.types = frozenset(types)
+        self.props: Dict[str, Any] = props or {}
+
+    def property(self, name: str) -> Any:
+        """Value of property ``name`` (``label``/``type`` are virtual props)."""
+        if name == "label":
+            return self.label
+        if name == "type":
+            return self.types
+        return self.props.get(name)
+
+    def __repr__(self) -> str:
+        type_part = f" ({','.join(sorted(self.types))})" if self.types else ""
+        return f"Node({self.id}, {self.label!r}{type_part})"
+
+
+class Edge:
+    """A directed graph edge with label, weight and arbitrary properties."""
+
+    __slots__ = ("id", "source", "target", "label", "weight", "props")
+
+    def __init__(
+        self,
+        edge_id: int,
+        source: int,
+        target: int,
+        label: str = "",
+        weight: float = 1.0,
+        props: Optional[Dict[str, Any]] = None,
+    ):
+        self.id = edge_id
+        self.source = source
+        self.target = target
+        self.label = label
+        self.weight = weight
+        self.props: Dict[str, Any] = props or {}
+
+    def property(self, name: str) -> Any:
+        if name == "label":
+            return self.label
+        if name == "weight":
+            return self.weight
+        return self.props.get(name)
+
+    def other(self, node_id: int) -> int:
+        """The endpoint opposite ``node_id`` on this edge."""
+        if node_id == self.source:
+            return self.target
+        if node_id == self.target:
+            return self.source
+        raise GraphError(f"node {node_id} is not an endpoint of edge {self.id}")
+
+    def __repr__(self) -> str:
+        return f"Edge({self.id}, {self.source}-[{self.label}]->{self.target})"
+
+
+class Graph:
+    """A directed multigraph with bidirectional adjacency and label indexes.
+
+    The class is append-only: nodes and edges can be added but not removed,
+    which lets the CTP engines treat ids, degrees, and indexes as stable for
+    the duration of a search.  (The paper precomputes node degrees ``d_n``
+    before evaluating queries, see Section 4.6.)
+
+    Example
+    -------
+    >>> g = Graph()
+    >>> a = g.add_node("Alice", types=("entrepreneur",))
+    >>> b = g.add_node("OrgB", types=("company",))
+    >>> e = g.add_edge(a, b, "founded")
+    >>> g.degree(a)
+    1
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._nodes: List[Node] = []
+        self._edges: List[Edge] = []
+        self._adjacency: List[List[AdjacencyEntry]] = []
+        self._nodes_by_label: Dict[str, List[int]] = {}
+        self._nodes_by_type: Dict[str, List[int]] = {}
+        self._edges_by_label: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, label: str = "", types: Iterable[str] = (), **props: Any) -> int:
+        """Add a node and return its id (ids are dense, starting at 0)."""
+        node_id = len(self._nodes)
+        node = Node(node_id, label, types, props or None)
+        self._nodes.append(node)
+        self._adjacency.append([])
+        self._nodes_by_label.setdefault(label, []).append(node_id)
+        for type_name in node.types:
+            self._nodes_by_type.setdefault(type_name, []).append(node_id)
+        return node_id
+
+    def add_edge(self, source: int, target: int, label: str = "", weight: float = 1.0, **props: Any) -> int:
+        """Add a directed edge ``source -> target`` and return its id."""
+        self._check_node(source)
+        self._check_node(target)
+        edge_id = len(self._edges)
+        edge = Edge(edge_id, source, target, label, weight, props or None)
+        self._edges.append(edge)
+        self._adjacency[source].append((edge_id, target, True))
+        if target != source:
+            self._adjacency[target].append((edge_id, source, False))
+        self._edges_by_label.setdefault(label, []).append(edge_id)
+        return edge_id
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < len(self._nodes):
+            raise GraphError(f"unknown node id {node_id}")
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def node(self, node_id: int) -> Node:
+        self._check_node(node_id)
+        return self._nodes[node_id]
+
+    def edge(self, edge_id: int) -> Edge:
+        if not 0 <= edge_id < len(self._edges):
+            raise GraphError(f"unknown edge id {edge_id}")
+        return self._edges[edge_id]
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    def node_ids(self) -> range:
+        return range(len(self._nodes))
+
+    def edge_ids(self) -> range:
+        return range(len(self._edges))
+
+    # ------------------------------------------------------------------
+    # adjacency (bidirectional: requirement R3)
+    # ------------------------------------------------------------------
+    def adjacent(self, node_id: int) -> Sequence[AdjacencyEntry]:
+        """All edges incident to ``node_id`` as ``(edge_id, other, outgoing)``.
+
+        Self-loops appear once, with ``outgoing=True``.
+        """
+        return self._adjacency[node_id]
+
+    def degree(self, node_id: int) -> int:
+        """Number of incident edges (``d_n`` in Section 4.6)."""
+        return len(self._adjacency[node_id])
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Distinct neighbouring node ids, ignoring edge direction."""
+        seen = set()
+        out = []
+        for _, other, _ in self._adjacency[node_id]:
+            if other not in seen:
+                seen.add(other)
+                out.append(other)
+        return out
+
+    def out_edges(self, node_id: int) -> List[Edge]:
+        return [self._edges[e] for e, _, outgoing in self._adjacency[node_id] if outgoing]
+
+    def in_edges(self, node_id: int) -> List[Edge]:
+        return [self._edges[e] for e, _, outgoing in self._adjacency[node_id] if not outgoing]
+
+    # ------------------------------------------------------------------
+    # label / type indexes
+    # ------------------------------------------------------------------
+    def nodes_with_label(self, label: str) -> List[int]:
+        return list(self._nodes_by_label.get(label, ()))
+
+    def nodes_with_type(self, type_name: str) -> List[int]:
+        return list(self._nodes_by_type.get(type_name, ()))
+
+    def edges_with_label(self, label: str) -> List[int]:
+        return list(self._edges_by_label.get(label, ()))
+
+    def node_labels(self) -> List[str]:
+        return list(self._nodes_by_label)
+
+    def edge_labels(self) -> List[str]:
+        return list(self._edges_by_label)
+
+    def find_nodes(self, predicate: Callable[[Node], bool]) -> List[int]:
+        """Ids of all nodes satisfying ``predicate`` (full scan)."""
+        return [node.id for node in self._nodes if predicate(node)]
+
+    def find_node_by_label(self, label: str) -> int:
+        """The unique node carrying ``label`` (convenience for tests/examples)."""
+        ids = self._nodes_by_label.get(label, ())
+        if len(ids) != 1:
+            raise GraphError(f"expected exactly one node labelled {label!r}, found {len(ids)}")
+        return ids[0]
+
+    # ------------------------------------------------------------------
+    # display helpers
+    # ------------------------------------------------------------------
+    def describe_edge(self, edge_id: int) -> str:
+        edge = self.edge(edge_id)
+        source = self._nodes[edge.source].label or str(edge.source)
+        target = self._nodes[edge.target].label or str(edge.target)
+        label = edge.label or "-"
+        return f"{source} -[{label}]-> {target}"
+
+    def describe_tree(self, edge_ids: Iterable[int]) -> str:
+        """Human-readable rendering of a set of edges (a CTP result)."""
+        parts = sorted(self.describe_edge(e) for e in edge_ids)
+        if not parts:
+            return "(single node)"
+        return "; ".join(parts)
+
+    def __repr__(self) -> str:
+        name = f" {self.name!r}" if self.name else ""
+        return f"Graph({name} nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+def induced_edge_subgraph(graph: Graph, edge_ids: Iterable[int]) -> Dict[int, List[int]]:
+    """Undirected adjacency (node -> neighbour list) of a subset of edges.
+
+    Used to analyse CTP results: leaf detection, path checks, decomposition
+    into simple edge sets (Definitions 4.5-4.7).
+    """
+    adjacency: Dict[int, List[int]] = {}
+    for edge_id in edge_ids:
+        edge = graph.edge(edge_id)
+        adjacency.setdefault(edge.source, []).append(edge.target)
+        adjacency.setdefault(edge.target, []).append(edge.source)
+    return adjacency

@@ -1,0 +1,84 @@
+"""Graph (de)serialisation.
+
+Two formats are supported:
+
+* **TSV triples** — the paper stores graphs as a ``graph(id, source,
+  edgeLabel, target)`` table in PostgreSQL; the TSV format mirrors one edge
+  per line, addressed by node labels.  Lossy for node types/properties.
+* **JSON** — full-fidelity round-tripping of nodes (labels, types,
+  properties) and edges (labels, weights, properties).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def save_graph_tsv(graph: Graph, path: PathLike) -> None:
+    """Write one ``source<TAB>label<TAB>target`` line per edge (by node label)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for edge in graph.edges():
+            source = graph.node(edge.source).label
+            target = graph.node(edge.target).label
+            handle.write(f"{source}\t{edge.label}\t{target}\n")
+
+
+def load_graph_tsv(path: PathLike, name: str = "") -> Graph:
+    """Load a TSV triple file written by :func:`save_graph_tsv`."""
+    builder = GraphBuilder(name)
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise GraphError(f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}")
+            builder.triple(*parts)
+    return builder.graph
+
+
+def save_graph_json(graph: Graph, path: PathLike) -> None:
+    """Full-fidelity JSON dump (nodes with types/props, edges with weights)."""
+    payload = {
+        "name": graph.name,
+        "nodes": [
+            {"id": node.id, "label": node.label, "types": sorted(node.types), "props": node.props}
+            for node in graph.nodes()
+        ],
+        "edges": [
+            {
+                "id": edge.id,
+                "source": edge.source,
+                "target": edge.target,
+                "label": edge.label,
+                "weight": edge.weight,
+                "props": edge.props,
+            }
+            for edge in graph.edges()
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_graph_json(path: PathLike) -> Graph:
+    """Load a JSON dump written by :func:`save_graph_json`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    graph = Graph(payload.get("name", ""))
+    for node in payload["nodes"]:
+        node_id = graph.add_node(node["label"], node.get("types", ()), **node.get("props", {}))
+        if node_id != node["id"]:
+            raise GraphError(f"non-dense node ids in {path} (expected {node_id}, found {node['id']})")
+    for edge in payload["edges"]:
+        graph.add_edge(edge["source"], edge["target"], edge.get("label", ""), edge.get("weight", 1.0), **edge.get("props", {}))
+    return graph

@@ -1,0 +1,79 @@
+"""Graph statistics: degree distributions, component structure, summaries.
+
+Used by the real-world workload generator (to verify the synthetic
+YAGO/DBPedia substitutes are scale-free) and by the benchmark reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.graph.graph import Graph
+
+
+@dataclass
+class GraphStats:
+    """Summary statistics of a graph."""
+
+    num_nodes: int
+    num_edges: int
+    num_components: int
+    max_degree: int
+    mean_degree: float
+    degree_histogram: Dict[int, int] = field(repr=False)
+    node_label_count: int = 0
+    edge_label_count: int = 0
+
+    def format(self) -> str:
+        return (
+            f"nodes={self.num_nodes} edges={self.num_edges} "
+            f"components={self.num_components} max_degree={self.max_degree} "
+            f"mean_degree={self.mean_degree:.2f} "
+            f"node_labels={self.node_label_count} edge_labels={self.edge_label_count}"
+        )
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """Undirected connected components, each a sorted list of node ids."""
+    seen = [False] * graph.num_nodes
+    components: List[List[int]] = []
+    for start in graph.node_ids():
+        if seen[start]:
+            continue
+        component = []
+        queue = deque([start])
+        seen[start] = True
+        while queue:
+            node = queue.popleft()
+            component.append(node)
+            for _, other, _ in graph.adjacent(node):
+                if not seen[other]:
+                    seen[other] = True
+                    queue.append(other)
+        components.append(sorted(component))
+    return components
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Map degree -> number of nodes with that degree."""
+    return dict(Counter(graph.degree(node) for node in graph.node_ids()))
+
+
+def graph_stats(graph: Graph) -> GraphStats:
+    """Compute a :class:`GraphStats` summary for ``graph``."""
+    histogram = degree_histogram(graph)
+    degrees = [graph.degree(node) for node in graph.node_ids()]
+    max_degree = max(degrees, default=0)
+    mean_degree = (sum(degrees) / len(degrees)) if degrees else 0.0
+    return GraphStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_components=len(connected_components(graph)),
+        max_degree=max_degree,
+        mean_degree=mean_degree,
+        degree_histogram=histogram,
+        node_label_count=len(graph.node_labels()),
+        edge_label_count=len(graph.edge_labels()),
+    )

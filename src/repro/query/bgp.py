@@ -1,0 +1,98 @@
+"""BGP evaluation: computing all embeddings (Definition 2.7).
+
+The paper delegates BGP evaluation to a conjunctive graph query engine
+(PostgreSQL in their prototype).  Ours matches each edge pattern against the
+graph's label/type indexes — choosing the cheapest access path — and then
+joins the per-pattern embedding tables with the relational substrate
+(step (A) of Section 3 produces one materialized table ``B_i`` per BGP).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro._util import Deadline
+from repro.errors import BudgetExceeded
+from repro.graph.graph import Graph
+from repro.query.ast import BGP, EdgePattern, Predicate
+from repro.storage.relational import natural_join_many
+from repro.storage.table import Table
+
+
+def _node_candidates(graph: Graph, predicate: Predicate) -> Optional[List[int]]:
+    """Candidate node ids for a predicate, or ``None`` for 'no index'."""
+    label = predicate.label_constant()
+    if label is not None:
+        return graph.nodes_with_label(label)
+    type_name = predicate.type_constant()
+    if type_name is not None:
+        return graph.nodes_with_type(type_name)
+    return None
+
+
+def candidate_edges(graph: Graph, pattern: EdgePattern) -> Iterable[int]:
+    """Edge ids worth testing for ``pattern``, via the cheapest access path."""
+    options: List[Tuple[int, str]] = []
+    edge_label = pattern.edge.label_constant()
+    if edge_label is not None:
+        options.append((len(graph.edges_with_label(edge_label)), "edge"))
+    source_nodes = _node_candidates(graph, pattern.source)
+    if source_nodes is not None:
+        options.append((len(source_nodes), "source"))
+    target_nodes = _node_candidates(graph, pattern.target)
+    if target_nodes is not None:
+        options.append((len(target_nodes), "target"))
+    if not options:
+        return graph.edge_ids()
+    options.sort()
+    _, best = options[0]
+    if best == "edge":
+        return graph.edges_with_label(edge_label)
+    if best == "source":
+        return [edge.id for node in source_nodes for edge in graph.out_edges(node)]
+    return [edge.id for node in target_nodes for edge in graph.in_edges(node)]
+
+
+def match_pattern(graph: Graph, pattern: EdgePattern) -> Table:
+    """All embeddings of one edge pattern as a table.
+
+    Columns are the pattern's distinct variables; values are node ids for
+    source/target and edge ids for the edge variable.  Repeated variables
+    (e.g. ``(?x, ?e, ?x)`` self-loops) are enforced as equalities.
+    """
+    source_var, edge_var, target_var = pattern.variables()
+    columns: List[str] = []
+    for var in (source_var, edge_var, target_var):
+        if var not in columns:
+            columns.append(var)
+    rows = []
+    for edge_id in candidate_edges(graph, pattern):
+        edge = graph.edge(edge_id)
+        if not pattern.edge.test(edge):
+            continue
+        source = graph.node(edge.source)
+        if not pattern.source.test(source):
+            continue
+        target = graph.node(edge.target)
+        if not pattern.target.test(target):
+            continue
+        binding = {}
+        consistent = True
+        for var, value in ((source_var, edge.source), (edge_var, edge.id), (target_var, edge.target)):
+            if var in binding and binding[var] != value:
+                consistent = False
+                break
+            binding[var] = value
+        if consistent:
+            rows.append(tuple(binding[c] for c in columns))
+    return Table(columns, rows)
+
+
+def evaluate_bgp(graph: Graph, bgp: BGP, deadline: Optional[Deadline] = None) -> Table:
+    """Compute all embeddings of a BGP (the materialized ``B_i`` table)."""
+    tables = []
+    for pattern in bgp.patterns:
+        if deadline is not None and deadline.expired():
+            raise BudgetExceeded("BGP evaluation timed out")
+        tables.append(match_pattern(graph, pattern))
+    return natural_join_many(tables)

@@ -1,0 +1,242 @@
+"""EQL query evaluation — the three-step strategy of Section 3.
+
+(A) evaluate every BGP into a materialized table ``B_i``;
+(B) for every CTP, derive each seed set from the ``B_i`` binding its
+    variable (or from the graph when the variable is free), then run a CTP
+    search algorithm with the CTP's filters pushed into the search;
+(C) natural-join the ``B_i`` and ``CTP_j`` tables and project on the head.
+
+The evaluator reports per-phase timings because the paper does too (e.g.
+Section 5.5.2: "MoLESP took around 30% of the total time, the rest being
+spent ... in the BGP evaluation and final joins").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.ctp.config import WILDCARD, SearchConfig
+from repro.ctp.registry import get_algorithm
+from repro.ctp.results import CTPResultSet, ResultTree
+from repro.errors import EvaluationError
+from repro.graph.graph import Graph
+from repro.query.ast import CTP, CTPFilters, EQLQuery, Predicate
+from repro.query.bgp import evaluate_bgp
+from repro.query.parser import parse_query
+from repro.query.scoring import get_score_function
+from repro.storage.relational import natural_join_many
+from repro.storage.table import Table
+
+
+@dataclass
+class CTPReport:
+    """Execution details of one CTP inside a query."""
+
+    tree_var: str
+    algorithm: str
+    seed_set_sizes: Tuple[Optional[int], ...]  # None marks a wildcard set
+    result_set: CTPResultSet
+    seconds: float
+
+
+@dataclass
+class QueryTimings:
+    bgp_seconds: float = 0.0
+    ctp_seconds: float = 0.0
+    join_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.bgp_seconds + self.ctp_seconds + self.join_seconds
+
+
+@dataclass
+class QueryResult:
+    """The rows of an EQL query plus its evaluation breakdown.
+
+    Row values are node ids for node variables, edge ids for edge
+    variables, and :class:`~repro.ctp.results.ResultTree` objects for CTP
+    tree variables.
+    """
+
+    columns: Tuple[str, ...]
+    rows: List[Tuple[Any, ...]]
+    graph: Graph
+    timings: QueryTimings = field(default_factory=QueryTimings)
+    ctp_reports: List[CTPReport] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def format(self, limit: int = 20) -> str:
+        """Human-readable rendering, resolving ids to labels."""
+        lines = [" | ".join(f"?{c}" for c in self.columns)]
+        for row in self.rows[:limit]:
+            cells = []
+            for value in row:
+                if isinstance(value, ResultTree):
+                    cells.append(value.describe(self.graph))
+                elif isinstance(value, int) and 0 <= value < self.graph.num_nodes:
+                    cells.append(self.graph.node(value).label or str(value))
+                else:
+                    cells.append(str(value))
+            lines.append(" | ".join(cells))
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)
+
+
+def config_for_ctp(filters: CTPFilters, base: SearchConfig, default_timeout: Optional[float]) -> SearchConfig:
+    """Push a CTP's filters (Definition 2.11) into the search configuration."""
+    score = base.score
+    if filters.score is not None:
+        score = get_score_function(filters.score)
+    return base.with_(
+        uni=filters.uni or base.uni,
+        labels=filters.labels if filters.labels is not None else base.labels,
+        max_edges=filters.max_edges if filters.max_edges is not None else base.max_edges,
+        timeout=filters.timeout if filters.timeout is not None else (base.timeout or default_timeout),
+        limit=filters.limit if filters.limit is not None else base.limit,
+        score=score,
+        top_k=filters.top_k if filters.top_k is not None else base.top_k,
+    )
+
+
+def match_seed_nodes(graph: Graph, predicate: Predicate) -> List[int]:
+    """Nodes of N satisfying a seed predicate (step B.1, free-variable case)."""
+    label = predicate.label_constant()
+    if label is not None:
+        return [n for n in graph.nodes_with_label(label) if predicate.test(graph.node(n))]
+    type_name = predicate.type_constant()
+    if type_name is not None:
+        return [n for n in graph.nodes_with_type(type_name) if predicate.test(graph.node(n))]
+    return graph.find_nodes(predicate.test)
+
+
+def _seed_sets_for_ctp(
+    graph: Graph,
+    ctp: CTP,
+    binding_tables: Dict[str, Table],
+) -> Tuple[List[Any], Tuple[Optional[int], ...]]:
+    """Step (B.1): derive the CTP's seed sets from BGP bindings or the graph."""
+    seed_sets: List[Any] = []
+    sizes: List[Optional[int]] = []
+    for seed in ctp.seeds:
+        table = binding_tables.get(seed.var)
+        if table is not None:
+            nodes = table.distinct_values(seed.var)
+            if not seed.is_empty:
+                nodes = [n for n in nodes if seed.test(graph.node(n))]
+            seed_sets.append(nodes)
+            sizes.append(len(nodes))
+        elif seed.is_empty:
+            seed_sets.append(WILDCARD)  # an N seed set (Section 4.9)
+            sizes.append(None)
+        else:
+            nodes = match_seed_nodes(graph, seed)
+            seed_sets.append(nodes)
+            sizes.append(len(nodes))
+    return seed_sets, tuple(sizes)
+
+
+def _ctp_table(ctp: CTP, result_set: CTPResultSet) -> Table:
+    """Materialize a CTP's results as the ``CTP_j`` table of Section 3."""
+    columns = list(ctp.seed_vars()) + [ctp.tree_var]
+    rows = []
+    for result in result_set:
+        values: List[Any] = []
+        for position, seed in enumerate(result.seeds):
+            if seed is None:
+                # Wildcard set: any tree node matches; bind a representative.
+                seed = min(result.nodes)
+            values.append(seed)
+        values.append(result)
+        rows.append(tuple(values))
+    return Table(columns, rows)
+
+
+def evaluate_query(
+    graph: Graph,
+    query: Union[str, EQLQuery],
+    algorithm: str = "molesp",
+    base_config: Optional[SearchConfig] = None,
+    default_timeout: Optional[float] = None,
+    distinct: bool = True,
+) -> QueryResult:
+    """Evaluate an EQL query (Definition 2.10 semantics).
+
+    Parameters
+    ----------
+    query:
+        EQL text or a pre-built :class:`EQLQuery`.
+    algorithm:
+        CTP evaluation algorithm name (default: the paper's MoLESP).
+    base_config:
+        Defaults for search options not set by per-CTP filters.
+    default_timeout:
+        Per-CTP timeout (seconds) applied when neither the CTP's filters nor
+        ``base_config`` specify one (the paper's ``T``).
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    base_config = base_config or SearchConfig()
+
+    # Step (A): evaluate each BGP into a materialized table.
+    started = time.perf_counter()
+    bgp_tables = [evaluate_bgp(graph, bgp) for bgp in query.bgps()]
+    bgp_seconds = time.perf_counter() - started
+
+    binding_tables: Dict[str, Table] = {}
+    for table in bgp_tables:
+        for column in table.columns:
+            binding_tables.setdefault(column, table)
+
+    # Step (B): evaluate each CTP on its derived seed sets.
+    ctp_tables: List[Table] = []
+    reports: List[CTPReport] = []
+    ctp_seconds = 0.0
+    for ctp in query.ctps:
+        seed_sets, sizes = _seed_sets_for_ctp(graph, ctp, binding_tables)
+        config = config_for_ctp(ctp.filters, base_config, default_timeout)
+        ctp_started = time.perf_counter()
+        result_set = get_algorithm(algorithm).run(graph, seed_sets, config)
+        elapsed = time.perf_counter() - ctp_started
+        ctp_seconds += elapsed
+        reports.append(
+            CTPReport(
+                tree_var=ctp.tree_var,
+                algorithm=algorithm,
+                seed_set_sizes=sizes,
+                result_set=result_set,
+                seconds=elapsed,
+            )
+        )
+        ctp_tables.append(_ctp_table(ctp, result_set))
+
+    # Step (C): join everything and project on the head.
+    join_started = time.perf_counter()
+    joined = natural_join_many(bgp_tables + ctp_tables)
+    missing = [var for var in query.head if var not in joined.columns]
+    if missing:
+        raise EvaluationError(f"head variables {missing} not bound by the query body")
+    final = joined.project(list(query.head), distinct=distinct)
+    rows = list(final.rows)
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    join_seconds = time.perf_counter() - join_started
+
+    return QueryResult(
+        columns=final.columns,
+        rows=rows,
+        graph=graph,
+        timings=QueryTimings(bgp_seconds, ctp_seconds, join_seconds),
+        ctp_reports=reports,
+    )

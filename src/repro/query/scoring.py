@@ -1,0 +1,88 @@
+"""Score functions for ranking CTP results (requirement R2, ``SCORE sigma``).
+
+The paper's key design point is that connection search must stay
+*orthogonal* to the score function: journalists experiment with several
+scores before finding interesting patterns (the smallest tree through the
+``DEF`` country node is often the least interesting one).  Every function
+here follows the same protocol — ``f(graph, edge_ids, node_ids) -> float``,
+higher is better — and any user callable with that shape can be registered
+and then referenced from EQL text as ``SCORE name``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, FrozenSet
+
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+
+ScoreFunction = Callable[[Graph, FrozenSet[int], FrozenSet[int]], float]
+
+
+def size_score(graph: Graph, edges: FrozenSet[int], nodes: FrozenSet[int]) -> float:
+    """Smaller trees are better: ``1 / (1 + |edges|)`` (the GSTP default)."""
+    return 1.0 / (1.0 + len(edges))
+
+
+def weight_score(graph: Graph, edges: FrozenSet[int], nodes: FrozenSet[int]) -> float:
+    """Lighter trees are better: ``1 / (1 + sum of edge weights)``."""
+    total = sum(graph.edge(e).weight for e in edges)
+    return 1.0 / (1.0 + total)
+
+
+def label_diversity_score(graph: Graph, edges: FrozenSet[int], nodes: FrozenSet[int]) -> float:
+    """Trees using many distinct edge labels are more informative.
+
+    This is the kind of score that prefers the paper's ``t_beta``-style
+    connections (through accounts and affiliations) over a trivial hop
+    through a country node.
+    """
+    if not edges:
+        return 0.0
+    labels = {graph.edge(e).label for e in edges}
+    return len(labels) / len(edges)
+
+
+def hub_penalty_score(graph: Graph, edges: FrozenSet[int], nodes: FrozenSet[int]) -> float:
+    """Penalize trees passing through high-degree hub nodes.
+
+    Hubs (countries, big organizations) connect everything to everything
+    and rarely carry investigative value; the score decays with the log
+    degree mass of the tree's nodes.
+    """
+    mass = sum(math.log2(1 + graph.degree(n)) for n in nodes)
+    return 1.0 / (1.0 + mass)
+
+
+def specificity_score(graph: Graph, edges: FrozenSet[int], nodes: FrozenSet[int]) -> float:
+    """Blend of small size, label diversity and hub avoidance."""
+    return (
+        0.4 * size_score(graph, edges, nodes)
+        + 0.3 * label_diversity_score(graph, edges, nodes)
+        + 0.3 * hub_penalty_score(graph, edges, nodes)
+    )
+
+
+#: Built-in score functions addressable from EQL text (``SCORE size`` etc.).
+SCORE_FUNCTIONS: Dict[str, ScoreFunction] = {
+    "size": size_score,
+    "weight": weight_score,
+    "diversity": label_diversity_score,
+    "hub_penalty": hub_penalty_score,
+    "specificity": specificity_score,
+}
+
+
+def register_score_function(name: str, function: ScoreFunction) -> None:
+    """Register a custom score usable as ``SCORE name`` in EQL queries."""
+    SCORE_FUNCTIONS[name] = function
+
+
+def get_score_function(name: str) -> ScoreFunction:
+    """Look up a registered score function by its EQL name."""
+    try:
+        return SCORE_FUNCTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCORE_FUNCTIONS))
+        raise QueryError(f"unknown score function {name!r}; known: {known}") from None

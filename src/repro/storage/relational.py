@@ -1,0 +1,88 @@
+"""Join operators over :class:`~repro.storage.table.Table`.
+
+Step (C) of the paper's evaluation strategy computes ``π_head(B_1 ⋈ ... ⋈
+B_k ⋈ CTP_1 ⋈ ... ⋈ CTP_l)``; :func:`natural_join_many` implements the
+n-way natural join with a greedy order (join the pair sharing columns with
+the smallest intermediate first, falling back to cross products only when
+the remaining tables are truly disconnected).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.storage.table import Table
+
+
+def natural_join(left: Table, right: Table) -> Table:
+    """Hash-based natural join on all shared column names.
+
+    With no shared columns this degrades to the Cartesian product, matching
+    standard relational semantics.
+    """
+    shared = [c for c in left.columns if c in right.columns]
+    if not shared:
+        return left.cross(right)
+    left_positions = [left.column_position(c) for c in shared]
+    right_positions = [right.column_position(c) for c in shared]
+    right_extra = [i for i, c in enumerate(right.columns) if c not in shared]
+    # Build the hash table on the smaller operand.
+    swap = len(right) < len(left)
+    if swap:
+        build, probe = right, left
+        build_positions, probe_positions = right_positions, left_positions
+    else:
+        build, probe = left, right
+        build_positions, probe_positions = left_positions, right_positions
+    buckets: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for row in build.rows:
+        key = tuple(row[p] for p in build_positions)
+        buckets.setdefault(key, []).append(row)
+    columns = left.columns + tuple(right.columns[i] for i in right_extra)
+    out_rows: List[Tuple[Any, ...]] = []
+    if swap:
+        # probe = left; matched build rows are right rows
+        for left_row in probe.rows:
+            key = tuple(left_row[p] for p in probe_positions)
+            for right_row in buckets.get(key, ()):
+                out_rows.append(left_row + tuple(right_row[i] for i in right_extra))
+    else:
+        for right_row in probe.rows:
+            key = tuple(right_row[p] for p in probe_positions)
+            for left_row in buckets.get(key, ()):
+                out_rows.append(left_row + tuple(right_row[i] for i in right_extra))
+    return Table(columns, out_rows)
+
+
+def natural_join_many(tables: Sequence[Table]) -> Table:
+    """Join any number of tables, greedily preferring connected, small joins."""
+    if not tables:
+        raise StorageError("natural_join_many needs at least one table")
+    remaining = list(tables)
+    # Start from the smallest table.
+    remaining.sort(key=len)
+    current = remaining.pop(0)
+    while remaining:
+        current_columns = set(current.columns)
+        best_index = None
+        best_key = None
+        for index, table in enumerate(remaining):
+            shares = bool(current_columns & set(table.columns))
+            key = (not shares, len(table))  # prefer connected, then small
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        current = natural_join(current, remaining.pop(best_index))
+    return current
+
+
+def semi_join(left: Table, right: Table) -> Table:
+    """Rows of ``left`` that have at least one join partner in ``right``."""
+    shared = [c for c in left.columns if c in right.columns]
+    if not shared:
+        return left if len(right) else Table.empty(left.columns)
+    right_positions = [right.column_position(c) for c in shared]
+    keys = {tuple(row[p] for p in right_positions) for row in right.rows}
+    left_positions = [left.column_position(c) for c in shared]
+    return Table(left.columns, (row for row in left.rows if tuple(row[p] for p in left_positions) in keys))

@@ -1,0 +1,140 @@
+"""In-memory relations with named columns.
+
+A :class:`Table` is an immutable list of tuples plus a column-name header.
+It deliberately mirrors what the paper materializes during evaluation: the
+``B_i`` tables of BGP embeddings and the ``CTP_j`` tables of connecting-tree
+results (Section 3, steps A-C).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import StorageError
+
+
+class Table:
+    """An immutable relation: a tuple of column names and a list of rows."""
+
+    __slots__ = ("columns", "rows", "_index")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Any]]):
+        self.columns: Tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise StorageError(f"duplicate column names in {self.columns}")
+        width = len(self.columns)
+        materialized: List[Tuple[Any, ...]] = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise StorageError(f"row arity {len(row)} does not match {width} columns {self.columns}")
+            materialized.append(row)
+        self.rows = materialized
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(self.columns)}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Table":
+        return cls(columns, [])
+
+    @classmethod
+    def from_dicts(cls, columns: Sequence[str], dicts: Iterable[Dict[str, Any]]) -> "Table":
+        columns = tuple(columns)
+        return cls(columns, ([d[c] for c in columns] for d in dicts))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.columns}, {len(self.rows)} rows)"
+
+    def column_position(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise StorageError(f"unknown column {name!r}; table has {self.columns}") from None
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (with duplicates, in row order)."""
+        position = self.column_position(name)
+        return [row[position] for row in self.rows]
+
+    def distinct_values(self, name: str) -> List[Any]:
+        """Distinct values of one column, first-seen order (π with dedup)."""
+        position = self.column_position(name)
+        seen = set()
+        out = []
+        for row in self.rows:
+            value = row[position]
+            if value not in seen:
+                seen.add(value)
+                out.append(value)
+        return out
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+    def project(self, columns: Sequence[str], distinct: bool = False) -> "Table":
+        """π — keep only ``columns`` (optionally deduplicating rows)."""
+        positions = [self.column_position(c) for c in columns]
+        rows: Iterable[Tuple[Any, ...]] = (tuple(row[p] for p in positions) for row in self.rows)
+        if distinct:
+            seen = set()
+            unique = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            rows = unique
+        return Table(columns, rows)
+
+    def select(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Table":
+        """σ — keep rows whose dict form satisfies ``predicate``."""
+        return Table(self.columns, (row for row in self.rows if predicate(dict(zip(self.columns, row)))))
+
+    def select_eq(self, column: str, value: Any) -> "Table":
+        """σ column = value (the common fast path)."""
+        position = self.column_position(column)
+        return Table(self.columns, (row for row in self.rows if row[position] == value))
+
+    def select_in(self, column: str, values: Iterable[Any]) -> "Table":
+        value_set = set(values)
+        position = self.column_position(column)
+        return Table(self.columns, (row for row in self.rows if row[position] in value_set))
+
+    def rename(self, mapping: Dict[str, str]) -> "Table":
+        """ρ — rename columns according to ``mapping``."""
+        return Table(tuple(mapping.get(c, c) for c in self.columns), self.rows)
+
+    def distinct(self) -> "Table":
+        seen = set()
+        unique = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        return Table(self.columns, unique)
+
+    def union(self, other: "Table") -> "Table":
+        if self.columns != other.columns:
+            raise StorageError(f"union of incompatible schemas {self.columns} vs {other.columns}")
+        return Table(self.columns, list(self.rows) + list(other.rows))
+
+    def cross(self, other: "Table") -> "Table":
+        """Cartesian product (columns must be disjoint)."""
+        overlap = set(self.columns) & set(other.columns)
+        if overlap:
+            raise StorageError(f"cross product with shared columns {overlap}; use natural_join")
+        columns = self.columns + other.columns
+        return Table(columns, (left + right for left in self.rows for right in other.rows))
+
+    def sort(self, columns: Sequence[str]) -> "Table":
+        positions = [self.column_position(c) for c in columns]
+        return Table(self.columns, sorted(self.rows, key=lambda row: tuple(row[p] for p in positions)))

@@ -1,0 +1,88 @@
+"""Triple-table view of a graph.
+
+The paper stores every graph in a PostgreSQL relation ``graph(id, source,
+edgeLabel, target)``.  :class:`TripleStore` reproduces that storage model in
+memory: the full triple table, plus the secondary access paths (by edge
+label, by source, by target) a relational engine would use for index scans.
+It backs the Postgres-like baselines and offers an alternative, storage-level
+way to evaluate edge patterns in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.storage.table import Table
+
+TRIPLE_COLUMNS = ("id", "source", "label", "target")
+
+
+class TripleStore:
+    """The ``graph(id, source, edgeLabel, target)`` relation over a graph."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self._by_label: Dict[str, List[int]] = {}
+        self._by_source: Dict[int, List[int]] = {}
+        self._by_target: Dict[int, List[int]] = {}
+        rows = []
+        for edge in graph.edges():
+            rows.append((edge.id, edge.source, edge.label, edge.target))
+            self._by_label.setdefault(edge.label, []).append(edge.id)
+            self._by_source.setdefault(edge.source, []).append(edge.id)
+            self._by_target.setdefault(edge.target, []).append(edge.id)
+        self.table = Table(TRIPLE_COLUMNS, rows)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    # ------------------------------------------------------------------
+    # index scans
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        source: Optional[int] = None,
+        label: Optional[str] = None,
+        target: Optional[int] = None,
+    ) -> List[int]:
+        """Edge ids matching the bound components (index-based when possible)."""
+        candidate_lists = []
+        if source is not None:
+            candidate_lists.append(self._by_source.get(source, []))
+        if target is not None:
+            candidate_lists.append(self._by_target.get(target, []))
+        if label is not None:
+            candidate_lists.append(self._by_label.get(label, []))
+        if not candidate_lists:
+            return list(self.graph.edge_ids())
+        # Intersect starting from the smallest access path.
+        candidate_lists.sort(key=len)
+        result = candidate_lists[0]
+        for other in candidate_lists[1:]:
+            other_set = set(other)
+            result = [e for e in result if e in other_set]
+        return result
+
+    def triples(self, source: Optional[int] = None, label: Optional[str] = None, target: Optional[int] = None) -> Table:
+        """The matching subset of the triple table."""
+        edge_ids = self.scan(source, label, target)
+        graph = self.graph
+        rows = []
+        for edge_id in edge_ids:
+            edge = graph.edge(edge_id)
+            rows.append((edge.id, edge.source, edge.label, edge.target))
+        return Table(TRIPLE_COLUMNS, rows)
+
+    def estimated_count(self, source: Optional[int] = None, label: Optional[str] = None, target: Optional[int] = None) -> int:
+        """Cheapest access-path cardinality (used for join ordering)."""
+        counts = []
+        if source is not None:
+            counts.append(len(self._by_source.get(source, ())))
+        if target is not None:
+            counts.append(len(self._by_target.get(target, ())))
+        if label is not None:
+            counts.append(len(self._by_label.get(label, ())))
+        if not counts:
+            return len(self.table)
+        return min(counts)

@@ -1,0 +1,178 @@
+"""Connected Dense Forest (CDF) graphs and queries — Figure 9, Section 5.3.
+
+A CDF graph has a *top forest* and a *bottom forest*, each made of ``N_T``
+disjoint complete binary trees with 7 nodes (root, two mid nodes, four
+leaves; 6 edges — the paper's "depth 3" counting levels).  Edge labels
+follow Figure 9: ``a``/``b`` from top roots, ``c``/``d`` to top leaves,
+``e``/``f`` from bottom roots, ``g``/``h`` to bottom leaves.
+
+``N_L`` links of ``S_L`` ``link``-labelled triples connect eligible top
+leaves to eligible bottom leaves:
+
+* eligible top leaves are targets of ``c`` edges, and the links are
+  concentrated on 50% of them (one per top tree);
+* for ``m=2`` each link is a chain ``top leaf -> ... -> bottom leaf``, and
+  eligible bottom leaves are 50% of the ``g`` targets;
+* for ``m=3`` each link is a Y: a stem of ``S_L - 2`` edges from the top
+  leaf to a fork, then one edge to each bottom leaf of a sibling pair
+  (the ``g``- and ``h``-child of the same mid node), matching the query's
+  ``(?v g ?bl1)(?v h ?bl2)`` BGP.  50% of bottom leaves are eligible.
+
+Each link is a distinct connecting tree between its leaves, so the EQL
+query over a CDF graph has exactly ``N_L`` answers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import WorkloadError
+from repro.graph.graph import Graph
+
+
+@dataclass
+class CDFDataset:
+    """A generated CDF graph plus the bookkeeping the harness needs."""
+
+    graph: Graph
+    m: int
+    num_trees: int
+    num_links: int
+    link_length: int
+    #: (top leaf, bottom leaves...) per link — the expected query answers.
+    links: List[Tuple[int, ...]] = field(default_factory=list)
+    eligible_top: List[int] = field(default_factory=list)
+    eligible_bottom: List[int] = field(default_factory=list)
+
+    @property
+    def expected_results(self) -> int:
+        return self.num_links
+
+    def query(self) -> str:
+        return cdf_query(self.m)
+
+
+def _binary_tree(graph: Graph, prefix: str, labels: Tuple[str, str, str, str]) -> Tuple[int, List[int], List[int]]:
+    """One 7-node complete binary tree; returns (root, mids, leaves)."""
+    down1, down2, leaf1, leaf2 = labels
+    root = graph.add_node(f"{prefix}_root", types=("forest_root",))
+    mids = []
+    leaves = []
+    for side, label in ((0, down1), (1, down2)):
+        mid = graph.add_node(f"{prefix}_m{side}", types=("forest_mid",))
+        graph.add_edge(root, mid, label)
+        mids.append(mid)
+        for leaf_side, leaf_label in ((0, leaf1), (1, leaf2)):
+            leaf = graph.add_node(f"{prefix}_l{side}{leaf_side}", types=("forest_leaf",))
+            graph.add_edge(mid, leaf, leaf_label)
+            leaves.append(leaf)
+    return root, mids, leaves
+
+
+def cdf_graph(num_trees: int, num_links: int, link_length: int, m: int = 2, seed: int = 0) -> CDFDataset:
+    """Generate a CDF graph (``N_T`` trees per forest, ``N_L`` links).
+
+    ``m`` selects chain links (2) or Y links (3); ``link_length`` is the
+    paper's ``S_L`` (the number of ``link`` triples per link; ``m=3`` needs
+    ``S_L >= 3``).
+    """
+    if m not in (2, 3):
+        raise WorkloadError("CDF graphs are defined for m in {2, 3}")
+    if num_trees < 1 or num_links < 0:
+        raise WorkloadError("need num_trees >= 1 and num_links >= 0")
+    if m == 2 and link_length < 1:
+        raise WorkloadError("m=2 links need S_L >= 1")
+    if m == 3 and link_length < 3:
+        raise WorkloadError("m=3 (Y) links need S_L >= 3")
+    rng = random.Random(seed)
+    graph = Graph(f"cdf(m={m},NT={num_trees},NL={num_links},SL={link_length})")
+    eligible_top: List[int] = []
+    eligible_bottom: List[int] = []  # m=2: g-targets; m=3: (bl1, bl2) pairs flattened
+    bottom_pairs: List[Tuple[int, int]] = []
+    for t in range(num_trees):
+        _, _, top_leaves = _binary_tree(graph, f"t{t}", ("a", "b", "c", "d"))
+        # c-edge targets are leaves 0 and 2 (the first child of each mid);
+        # concentrate links on 50% of them: one per tree.
+        eligible_top.append(top_leaves[0])
+    for t in range(num_trees):
+        _, _, bottom_leaves = _binary_tree(graph, f"b{t}", ("e", "f", "g", "h"))
+        if m == 2:
+            # g-targets are leaves 0 and 2; 50% participate: one per tree.
+            eligible_bottom.append(bottom_leaves[0])
+        else:
+            # 50% of all bottom leaves: one sibling (g, h) pair per tree.
+            bottom_pairs.append((bottom_leaves[0], bottom_leaves[1]))
+            eligible_bottom.extend((bottom_leaves[0], bottom_leaves[1]))
+    links: List[Tuple[int, ...]] = []
+    # For m=3, draw distinct (top leaf, sibling pair) combinations when
+    # possible: two Y-links sharing both endpoints would create extra
+    # cross-stem arborescences and the query would exceed N_L answers.
+    if m == 3:
+        combos = [(t, p) for t in eligible_top for p in range(len(bottom_pairs))]
+        if num_links <= len(combos):
+            chosen = rng.sample(combos, num_links)
+        else:
+            chosen = [rng.choice(combos) for _ in range(num_links)]
+    for link_index in range(num_links):
+        if m == 2:
+            top = rng.choice(eligible_top)
+            bottom = rng.choice(eligible_bottom)
+            current = top
+            for hop in range(link_length - 1):
+                node = graph.add_node(f"lk{link_index}_{hop}", types=("link_node",))
+                graph.add_edge(current, node, "link")
+                current = node
+            graph.add_edge(current, bottom, "link")
+            links.append((top, bottom))
+        else:
+            top, pair_index = chosen[link_index]
+            bottom1, bottom2 = bottom_pairs[pair_index]
+            current = top
+            for hop in range(link_length - 2):
+                node = graph.add_node(f"lk{link_index}_{hop}", types=("link_node",))
+                graph.add_edge(current, node, "link")
+                current = node
+            graph.add_edge(current, bottom1, "link")
+            graph.add_edge(current, bottom2, "link")
+            links.append((top, bottom1, bottom2))
+    return CDFDataset(
+        graph=graph,
+        m=m,
+        num_trees=num_trees,
+        num_links=num_links,
+        link_length=link_length,
+        links=links,
+        eligible_top=eligible_top,
+        eligible_bottom=eligible_bottom,
+    )
+
+
+def cdf_query(m: int, ctp_filters: str = "") -> str:
+    """The EQL query of Section 5.3 for CDF graphs.
+
+    ``m=2``: paths between top ``c``-leaves and bottom ``g``-leaves;
+    ``m=3``: connecting trees between a top leaf and a ``g``/``h`` sibling
+    pair.  ``ctp_filters`` is appended verbatim to the CONNECT clause
+    (e.g. ``"UNI"`` or ``"TIMEOUT 5"``).
+    """
+    close = "}"
+    if m == 2:
+        return (
+            "SELECT ?v ?tl ?l WHERE {\n"
+            "  ?x c ?tl .\n"
+            "  ?v g ?bl .\n"
+            f"  CONNECT(?bl, ?tl) AS ?l {ctp_filters}\n"
+            f"{close}"
+        )
+    if m == 3:
+        return (
+            "SELECT ?v ?tl ?l WHERE {\n"
+            "  ?x c ?tl .\n"
+            "  ?v g ?bl1 .\n"
+            "  ?v h ?bl2 .\n"
+            f"  CONNECT(?tl, ?bl1, ?bl2) AS ?l {ctp_filters}\n"
+            f"{close}"
+        )
+    raise WorkloadError("CDF queries are defined for m in {2, 3}")

@@ -1,0 +1,118 @@
+"""Random EQL query generation (workload fuzzing).
+
+Generates syntactically valid, *satisfiable-by-construction-biased* EQL
+queries against a concrete graph: triple patterns are instantiated from
+actual edges, CTP seeds from actual nodes, filters from actual labels and
+types.  Used by the fuzz tests to exercise the parser → evaluator → CTP
+pipeline on inputs no hand-written test would think of, and usable as a
+workload generator for stress benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.graph.graph import Graph
+
+_CTP_FILTER_POOL = (
+    "",
+    "UNI",
+    "MAX 3",
+    "MAX 4",
+    "SCORE size",
+    "SCORE size TOP 3",
+    "LIMIT 5",
+    "MAX 3 LIMIT 10",
+)
+
+
+def random_query(
+    graph: Graph,
+    rng: Optional[random.Random] = None,
+    max_patterns: int = 3,
+    max_ctps: int = 2,
+    timeout: float = 2.0,
+) -> str:
+    """One random EQL query grounded in ``graph``'s actual content.
+
+    The triple patterns follow a random walk over real edges so the BGP
+    usually has embeddings; CTP arguments reuse BGP variables or real node
+    labels; every CTP gets a TIMEOUT so fuzzing stays bounded.
+    """
+    if graph.num_edges == 0:
+        raise WorkloadError("random_query needs a graph with edges")
+    rng = rng or random.Random()
+    variables: List[str] = []
+    node_vars: List[str] = []  # CONNECT arguments must bind nodes
+    clauses: List[str] = []
+
+    def fresh_var(node: bool = False) -> str:
+        name = f"v{len(variables)}"
+        variables.append(name)
+        if node:
+            node_vars.append(name)
+        return name
+
+    # --- triple patterns along a random walk (connected BGP) ---
+    num_patterns = rng.randint(1, max_patterns)
+    edge = graph.edge(rng.randrange(graph.num_edges))
+    subject_var = fresh_var(node=True)
+    current_node = edge.source
+    for _ in range(num_patterns):
+        incident = graph.adjacent(current_node)
+        if not incident:
+            break
+        edge_id, other, outgoing = incident[rng.randrange(len(incident))]
+        edge = graph.edge(edge_id)
+        object_var = fresh_var(node=True)
+        edge_term = f'"{edge.label}"' if rng.random() < 0.7 else f"?{fresh_var()}"
+        if outgoing:
+            clauses.append(f"?{subject_var} {edge_term} ?{object_var} .")
+        else:
+            clauses.append(f"?{object_var} {edge_term} ?{subject_var} .")
+        # occasionally pin one end to its actual label
+        if rng.random() < 0.3:
+            label = graph.node(other).label.replace('"', "")
+            if label:
+                clauses.append(f'FILTER(?{object_var} = "{label}")')
+        subject_var = object_var
+        current_node = other
+
+    # --- CTPs over existing variables and/or real node labels ---
+    num_ctps = rng.randint(0 if clauses else 1, max_ctps)
+    for index in range(num_ctps):
+        m = rng.randint(2, 3)
+        seeds: List[str] = []
+        for _ in range(m):
+            roll = rng.random()
+            if roll < 0.5 and node_vars:
+                seeds.append(f"?{rng.choice(node_vars)}")
+            elif roll < 0.85:
+                node = graph.node(rng.randrange(graph.num_nodes))
+                label = node.label.replace('"', "")
+                seeds.append(f'"{label}"' if label else "*")
+            else:
+                seeds.append("*")
+        if all(seed == "*" for seed in seeds):
+            seeds[0] = f'"{graph.node(rng.randrange(graph.num_nodes)).label}"'
+        if len(set(seeds)) != len(seeds):
+            # CTP variables must be pairwise distinct; degrade dupes to *
+            deduped = []
+            seen = set()
+            for seed in seeds:
+                if seed in seen and seed.startswith("?"):
+                    deduped.append("*")
+                else:
+                    seen.add(seed)
+                    deduped.append(seed)
+            seeds = deduped
+        tree_var = fresh_var()
+        filters = rng.choice(_CTP_FILTER_POOL)
+        clauses.append(f"CONNECT({', '.join(seeds)}) AS ?{tree_var} {filters} TIMEOUT {timeout}")
+
+    head = "*" if rng.random() < 0.5 else " ".join(f"?{v}" for v in rng.sample(variables, k=min(len(variables), 2)))
+    body = "\n  ".join(clauses)
+    suffix = f" LIMIT {rng.randint(1, 50)}" if rng.random() < 0.3 else ""
+    return f"SELECT {head} WHERE {{\n  {body}\n}}{suffix}"

@@ -1,0 +1,169 @@
+"""Tests for the structural result analysis (Definitions 4.2, 4.4-4.8).
+
+The crown jewel is the *guarantee classifier* cross-check: any result of a
+complete search that :func:`molesp_guaranteed` marks as covered by
+Properties 4/7/9 must appear in MoLESP's output — on every graph we can
+throw at it.
+"""
+
+import random
+
+import pytest
+
+from conftest import random_graph, random_seed_sets
+from repro.ctp.analysis import (
+    classify_piece,
+    is_edge_set,
+    is_p_piecewise_simple,
+    molesp_guaranteed,
+    result_shape,
+    simple_tree_decomposition,
+    tree_degrees,
+)
+from repro.ctp.gam import GAMSearch
+from repro.ctp.molesp import MoLESPSearch
+from repro.errors import SearchError
+from repro.graph.datasets import figure4, figure4_result_edges, figure5, figure6, figure7
+from repro.graph.graph import Graph
+
+
+def _seed_nodes(seeds):
+    return {node for seed_set in seeds for node in seed_set}
+
+
+class TestDecomposition:
+    def test_figure4_decomposition(self):
+        """Figure 4's result decomposes into the five 2-simple pieces the
+        paper lists: {A-4-D, A-1-2-B, B-7-E, B-8-F, B-3-C}."""
+        graph, seeds = figure4()
+        result = figure4_result_edges(graph)
+        pieces = simple_tree_decomposition(graph, result, _seed_nodes(seeds))
+        assert len(pieces) == 5
+        sizes = sorted(len(piece) for piece in pieces)
+        assert sizes == [2, 2, 2, 2, 3]
+        for piece in pieces:
+            assert classify_piece(graph, piece, _seed_nodes(seeds)).kind == "path"
+
+    def test_figure5_single_rooted_merge(self):
+        graph, seeds = figure5()
+        result = frozenset(graph.edge_ids())
+        pieces = simple_tree_decomposition(graph, result, _seed_nodes(seeds))
+        assert len(pieces) == 1
+        shape = classify_piece(graph, pieces[0], _seed_nodes(seeds))
+        assert shape.kind == "rooted-merge"
+        assert shape.leaves == 3
+        assert shape.center == graph.find_node_by_label("x")
+
+    def test_figure6_complex_piece(self):
+        """Figure 6's result has two branching nodes: outside all guarantees."""
+        graph, seeds = figure6()
+        result = frozenset(graph.edge_ids())
+        pieces = simple_tree_decomposition(graph, result, _seed_nodes(seeds))
+        assert len(pieces) == 1
+        assert classify_piece(graph, pieces[0], _seed_nodes(seeds)).kind == "complex"
+        assert not molesp_guaranteed(graph, result, _seed_nodes(seeds))
+
+    def test_figure7_two_rooted_merges(self):
+        graph, seeds = figure7()
+        result = frozenset(graph.edge_ids())
+        seed_nodes = _seed_nodes(seeds)
+        pieces = simple_tree_decomposition(graph, result, seed_nodes)
+        assert len(pieces) == 2
+        kinds = {classify_piece(graph, piece, seed_nodes).kind for piece in pieces}
+        assert kinds == {"rooted-merge"}
+        assert molesp_guaranteed(graph, result, seed_nodes)
+
+    def test_decomposition_requires_result(self):
+        g = Graph()
+        a, x = g.add_node("a"), g.add_node("x")
+        g.add_edge(a, x)
+        with pytest.raises(SearchError):
+            simple_tree_decomposition(g, frozenset({0}), {a})  # x is a non-seed leaf
+
+    def test_empty_edges(self):
+        g = Graph()
+        g.add_node("a")
+        assert simple_tree_decomposition(g, frozenset(), {0}) == []
+
+    def test_pieces_partition_edges(self):
+        graph, seeds = figure7()
+        result = frozenset(graph.edge_ids())
+        pieces = simple_tree_decomposition(graph, result, _seed_nodes(seeds))
+        union = frozenset().union(*pieces)
+        assert union == result
+        assert sum(len(p) for p in pieces) == len(result)
+
+
+class TestPredicates:
+    def test_is_edge_set(self):
+        g = Graph()
+        a, x, b = g.add_node("a"), g.add_node("x"), g.add_node("b")
+        g.add_edge(a, x)
+        g.add_edge(x, b)
+        assert is_edge_set(g, frozenset({0}), {a})  # one non-seed leaf (x)
+        assert is_edge_set(g, frozenset({0, 1}), {a, b})
+        assert not is_edge_set(g, frozenset({0, 1}), set())  # two non-seed leaves
+
+    def test_p_piecewise_simple(self):
+        graph, seeds = figure4()
+        result = figure4_result_edges(graph)
+        seed_nodes = _seed_nodes(seeds)
+        assert is_p_piecewise_simple(graph, result, seed_nodes, 2)
+        graph5, seeds5 = figure5()
+        result5 = frozenset(graph5.edge_ids())
+        assert not is_p_piecewise_simple(graph5, result5, _seed_nodes(seeds5), 2)
+        assert is_p_piecewise_simple(graph5, result5, _seed_nodes(seeds5), 3)
+
+    def test_tree_degrees(self):
+        g = Graph()
+        a, b, c = g.add_node("a"), g.add_node("b"), g.add_node("c")
+        g.add_edge(a, b)
+        g.add_edge(b, c)
+        assert tree_degrees(g, [0, 1]) == {a: 1, b: 2, c: 1}
+
+    def test_result_shape(self):
+        g = Graph()
+        nodes = [g.add_node(str(i)) for i in range(5)]
+        e1 = g.add_edge(nodes[0], nodes[1])
+        e2 = g.add_edge(nodes[1], nodes[2])
+        e3 = g.add_edge(nodes[1], nodes[3])
+        e4 = g.add_edge(nodes[3], nodes[4])
+        assert result_shape(g, frozenset()) == "node"
+        assert result_shape(g, frozenset({e1})) == "edge"
+        assert result_shape(g, frozenset({e1, e2})) == "path"
+        assert result_shape(g, frozenset({e1, e2, e3})) == "star"
+        # two branching nodes needs 6+ edges; fake with another fork
+        e5 = g.add_edge(nodes[3], nodes[0])  # creates branching at 3 and 1
+        assert result_shape(g, frozenset({e2, e3, e4, e5, e1})) in ("tree", "star")
+
+
+class TestGuaranteeCrossCheck:
+    """The big one: Properties 4/7/9 verified via classification."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_guaranteed_results_always_found(self, seed):
+        rng = random.Random(seed * 101 + 3)
+        graph = random_graph(rng, num_nodes=9, num_edges=13)
+        m = rng.randint(2, 5)
+        seed_sets = random_seed_sets(rng, graph, m=m, max_size=1)
+        seed_nodes = _seed_nodes(seed_sets)
+        complete = GAMSearch().run(graph, seed_sets)
+        found = MoLESPSearch().run(graph, seed_sets).edge_sets()
+        for result in complete:
+            if molesp_guaranteed(graph, result.edges, seed_nodes):
+                assert result.edges in found, (
+                    f"guaranteed result {sorted(result.edges)} missed "
+                    f"(m={m}, seed={seed})"
+                )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_guarantee_covers_all_results_for_m3(self, seed):
+        """For m <= 3, Property 8 says everything is found; consistency
+        check: every missed result would have to be non-guaranteed, so for
+        m <= 3 none may be missed at all."""
+        rng = random.Random(seed * 55 + 9)
+        graph = random_graph(rng, num_nodes=8, num_edges=12)
+        seed_sets = random_seed_sets(rng, graph, m=3, max_size=1)
+        complete = GAMSearch().run(graph, seed_sets)
+        found = MoLESPSearch().run(graph, seed_sets).edge_sets()
+        assert {r.edges for r in complete} == found

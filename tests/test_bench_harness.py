@@ -1,0 +1,110 @@
+"""Tests for the benchmark harness and reporting."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import ExperimentReport, Measurement, format_cell, time_call
+from repro.bench.reporting import pivot, render_table, report_to_markdown, report_to_text
+
+
+class TestTimeCall:
+    def test_returns_mean_and_result(self):
+        calls = []
+
+        def job():
+            calls.append(1)
+            return "done"
+
+        seconds, result = time_call(job, repeats=3)
+        assert result == "done"
+        assert len(calls) == 3
+        assert seconds >= 0
+
+    def test_repeats_clamped_to_one(self):
+        seconds, result = time_call(lambda: 42, repeats=0)
+        assert result == 42
+
+
+class TestMeasurement:
+    def test_row_merges_params_and_values(self):
+        m = Measurement(params={"m": 3}, seconds=0.5, values={"results": 7})
+        row = m.row()
+        assert row == {"m": 3, "time_ms": 500.0, "results": 7}
+
+
+class TestExperimentReport:
+    def _report(self):
+        report = ExperimentReport("exp1", "a title", config={"scale": 1.0})
+        report.add(Measurement({"x": 1}, 0.001, {"v": 10}))
+        report.add_row(x=2, time_ms=3.0, v=20)
+        report.note("a note")
+        return report
+
+    def test_columns_union(self):
+        report = self._report()
+        assert report.columns() == ["x", "time_ms", "v"]
+
+    def test_save_json(self, tmp_path):
+        report = self._report()
+        target = report.save_json(str(tmp_path))
+        payload = json.loads(target.read_text())
+        assert payload["experiment"] == "exp1"
+        assert len(payload["rows"]) == 2
+        assert payload["notes"] == ["a note"]
+
+    def test_text_rendering(self):
+        text = report_to_text(self._report())
+        assert "exp1" in text and "a title" in text
+        assert "time_ms" in text
+        assert "note: a note" in text
+
+    def test_markdown_rendering(self):
+        md = report_to_markdown(self._report())
+        assert md.startswith("### exp1")
+        assert "| x | time_ms | v |" in md
+        assert "> a note" in md
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        table = render_table(rows, ["a", "b"])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_empty(self):
+        assert render_table([], ["a"]) == "(no rows)"
+
+    def test_missing_cells(self):
+        table = render_table([{"a": 1}], ["a", "b"])
+        assert "-" in table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell(123456.7) == "123457"
+
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_passthrough(self):
+        assert format_cell("x") == "x"
+        assert format_cell(7) == "7"
+
+
+class TestPivot:
+    def test_figure_style_pivot(self):
+        rows = [
+            {"sL": 2, "algorithm": "gam", "time_ms": 10},
+            {"sL": 2, "algorithm": "molesp", "time_ms": 5},
+            {"sL": 4, "algorithm": "gam", "time_ms": 20},
+            {"sL": 4, "algorithm": "molesp", "time_ms": 8},
+        ]
+        pivoted = pivot(rows, index="sL", series="algorithm", value="time_ms")
+        assert pivoted == [
+            {"sL": 2, "gam": 10, "molesp": 5},
+            {"sL": 4, "gam": 20, "molesp": 8},
+        ]

@@ -1,0 +1,143 @@
+"""Tests for BGP evaluation (Definition 2.7, step A of Section 3)."""
+
+import pytest
+
+from repro.graph.datasets import figure1
+from repro.graph.graph import Graph
+from repro.query.ast import BGP, Condition, EdgePattern, Predicate
+from repro.query.bgp import candidate_edges, evaluate_bgp, match_pattern
+
+
+@pytest.fixture
+def fig1():
+    return figure1()
+
+
+def P(var, **kwargs):
+    conditions = []
+    if "label" in kwargs:
+        conditions.append(Condition("label", "=", kwargs["label"]))
+    if "type" in kwargs:
+        conditions.append(Condition("type", "=", kwargs["type"]))
+    return Predicate(var, tuple(conditions))
+
+
+class TestMatchPattern:
+    def test_edge_label_constant(self, fig1):
+        pattern = EdgePattern(P("x"), P("e", label="citizenOf"), P("y"))
+        table = match_pattern(fig1, pattern)
+        assert len(table) == 5
+        assert set(table.columns) == {"x", "e", "y"}
+
+    def test_source_and_target_conditions(self, fig1):
+        pattern = EdgePattern(
+            P("x", type="entrepreneur"), P("e", label="citizenOf"), P("y", label="USA")
+        )
+        table = match_pattern(fig1, pattern)
+        labels = {fig1.node(v).label for v in table.column("x")}
+        assert labels == {"Bob", "Carole"}
+
+    def test_edge_var_binds_edge_ids(self, fig1):
+        pattern = EdgePattern(P("x", label="Bob"), P("e"), P("y"))
+        table = match_pattern(fig1, pattern)
+        assert {fig1.edge(v).label for v in table.column("e")} == {"founded", "citizenOf"}
+
+    def test_repeated_variable_self_loop(self):
+        g = Graph()
+        a = g.add_node("a")
+        b = g.add_node("b")
+        g.add_edge(a, a, "self")
+        g.add_edge(a, b, "out")
+        pattern = EdgePattern(P("x"), P("e"), P("x"))
+        table = match_pattern(g, pattern)
+        assert len(table) == 1
+        assert table.columns == ("x", "e")
+
+    def test_no_match(self, fig1):
+        pattern = EdgePattern(P("x"), P("e", label="ghost"), P("y"))
+        assert len(match_pattern(fig1, pattern)) == 0
+
+
+class TestCandidateEdges:
+    def test_prefers_edge_label_index(self, fig1):
+        pattern = EdgePattern(P("x"), P("e", label="founded"), P("y"))
+        candidates = list(candidate_edges(fig1, pattern))
+        assert len(candidates) == 3
+
+    def test_prefers_selective_node_index(self, fig1):
+        # "Bob" matches one node; its out-edges are fewer than all edges
+        pattern = EdgePattern(P("x", label="Bob"), P("e"), P("y"))
+        candidates = list(candidate_edges(fig1, pattern))
+        assert len(candidates) == 2
+
+    def test_target_index(self, fig1):
+        pattern = EdgePattern(P("x"), P("e"), P("y", label="USA"))
+        candidates = list(candidate_edges(fig1, pattern))
+        assert len(candidates) == 3
+
+    def test_fallback_all_edges(self, fig1):
+        pattern = EdgePattern(P("x"), P("e"), P("y"))
+        assert len(list(candidate_edges(fig1, pattern))) == 19
+
+    def test_type_index(self, fig1):
+        pattern = EdgePattern(P("x", type="politician"), P("e"), P("y"))
+        candidates = list(candidate_edges(fig1, pattern))
+        # Elon has 3 outgoing, Falcon 2
+        assert len(candidates) == 5
+
+
+class TestEvaluateBGP:
+    def test_join_two_patterns(self, fig1):
+        # b1 of Section 2: x citizenOf USA and x founded OrgB => x = Bob
+        bgp = BGP(
+            (
+                EdgePattern(P("x"), P("e1", label="citizenOf"), P("u", label="USA")),
+                EdgePattern(P("x"), P("e2", label="founded"), P("o", label="OrgB")),
+            )
+        )
+        table = evaluate_bgp(fig1, bgp)
+        assert len(table) == 1
+        assert fig1.node(table.column("x")[0]).label == "Bob"
+
+    def test_chain_join(self, fig1):
+        # who founded a company located in the USA?
+        bgp = BGP(
+            (
+                EdgePattern(P("x"), P("e1", label="founded"), P("c")),
+                EdgePattern(P("c"), P("e2", label="locatedIn"), P("u", label="USA")),
+            )
+        )
+        table = evaluate_bgp(fig1, bgp)
+        assert {fig1.node(v).label for v in table.column("x")} == {"Carole"}
+
+    def test_empty_join(self, fig1):
+        bgp = BGP(
+            (
+                EdgePattern(P("x"), P("e1", label="founded"), P("c", label="OrgB")),
+                EdgePattern(P("c"), P("e2", label="locatedIn"), P("u")),
+            )
+        )
+        assert len(evaluate_bgp(fig1, bgp)) == 0
+
+    def test_matches_brute_force(self, fig1):
+        """Index-driven evaluation equals the naive nested-loop semantics."""
+        bgp = BGP(
+            (
+                EdgePattern(P("x"), P("e1", label="citizenOf"), P("y")),
+                EdgePattern(P("x"), P("e2", label="investsIn"), P("z")),
+            )
+        )
+        table = evaluate_bgp(fig1, bgp)
+        expected = set()
+        for e1 in fig1.edges():
+            if e1.label != "citizenOf":
+                continue
+            for e2 in fig1.edges():
+                if e2.label != "investsIn" or e2.source != e1.source:
+                    continue
+                expected.add((e1.source, e1.id, e1.target, e2.id, e2.target))
+        got = set()
+        for row in table.rows:
+            record = dict(zip(table.columns, row))
+            got.add((record["x"], record["e1"], record["y"], record["e2"], record["z"]))
+        assert got == expected

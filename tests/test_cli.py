@@ -1,0 +1,99 @@
+"""Tests for the command-line interfaces."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.graph.datasets import figure1
+from repro.graph.io import save_graph_json, save_graph_tsv
+
+
+class TestQueryCommand:
+    def test_query_on_demo_graph(self, capsys):
+        code = main(["query", 'SELECT ?w WHERE { CONNECT("Bob", "Alice") AS ?w MAX 3 }'])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "row(s)" in out
+        assert "?w" in out
+
+    def test_query_on_tsv_file(self, tmp_path, capsys):
+        path = tmp_path / "g.tsv"
+        save_graph_tsv(figure1(), path)
+        code = main(
+            [
+                "query",
+                'SELECT ?w WHERE { CONNECT("Bob", "Alice") AS ?w MAX 3 }',
+                "--graph",
+                str(path),
+            ]
+        )
+        assert code == 0
+
+    def test_query_on_json_file(self, tmp_path, capsys):
+        path = tmp_path / "g.json"
+        save_graph_json(figure1(), path)
+        code = main(
+            [
+                "query",
+                'SELECT ?z ?w WHERE { CONNECT("OrgB", ?z) AS ?w MAX 3 FILTER(type(?z) = "politician") }',
+                "--graph",
+                str(path),
+                "--algorithm",
+                "gam",
+            ]
+        )
+        assert code == 0
+        assert "Elon" in capsys.readouterr().out
+
+    def test_bad_query_reports_error(self, capsys):
+        code = main(["query", "SELECT ?w WHERE {"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Q1" in out
+
+    def test_info_default_graph(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes=12" in out
+
+    def test_bench_delegation(self, capsys, tmp_path):
+        code = main(["bench", "abl01", "--no-save", "--timeout", "2"])
+        assert code == 0
+        assert "abl01" in capsys.readouterr().out
+
+
+class TestBenchCli:
+    def test_saves_json(self, tmp_path, capsys):
+        from repro.bench.cli import main as bench_main
+
+        code = bench_main(["fig02", "--scale", "0.2", "--out", str(tmp_path)])
+        assert code == 0
+        saved = json.loads((tmp_path / "fig02.json").read_text())
+        assert saved["experiment"] == "fig02"
+        assert saved["rows"]
+
+    def test_unknown_experiment_raises(self):
+        from repro.bench.cli import main as bench_main
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            bench_main(["fig99", "--no-save"])
+
+
+def test_module_entrypoint_runs():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "demo"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0

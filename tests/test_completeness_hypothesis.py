@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis): the paper's guarantees on random graphs.
+
+Strategy: generate small random multigraphs and disjoint seed sets, then
+cross-check every algorithm against the complete references.  These are the
+strongest correctness tests in the suite — they explore execution orders
+and graph shapes no hand-written example covers.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from conftest import assert_all_valid
+from repro.baselines.dpbf import dpbf_optimal_tree
+from repro.ctp.bft import BFTSearch
+from repro.ctp.config import SearchConfig
+from repro.ctp.esp import ESPSearch
+from repro.ctp.gam import GAMSearch
+from repro.ctp.moesp import MoESPSearch
+from repro.ctp.molesp import MoLESPSearch
+from repro.graph.graph import Graph
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graph_and_seeds(draw, max_m: int = 3, singleton: bool = False):
+    """A connected random multigraph with m disjoint seed sets.
+
+    ``singleton=True`` restricts every set to one node — required when
+    comparing against classic GST semantics (see
+    :func:`test_dpbf_optimum_matches_smallest_result`).
+    """
+    num_nodes = draw(st.integers(min_value=3, max_value=9))
+    extra_edges = draw(st.integers(min_value=0, max_value=6))
+    rng_seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = random.Random(rng_seed)
+    graph = Graph("hyp")
+    for index in range(num_nodes):
+        graph.add_node(f"n{index}")
+    for node in range(1, num_nodes):
+        partner = rng.randrange(node)
+        if rng.random() < 0.5:
+            graph.add_edge(node, partner, "e")
+        else:
+            graph.add_edge(partner, node, "e")
+    for _ in range(extra_edges):
+        a, b = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if a != b:
+            graph.add_edge(a, b, "e")
+    m = draw(st.integers(min_value=2, max_value=min(max_m, num_nodes)))
+    nodes = list(range(num_nodes))
+    rng.shuffle(nodes)
+    seed_sets = []
+    cursor = 0
+    for _ in range(m):
+        size = 1 if singleton else draw(st.integers(min_value=1, max_value=2))
+        size = min(size, num_nodes - cursor)
+        if size == 0:
+            size = 1
+            cursor = 0  # reuse nodes only if we ran out (sets stay disjoint otherwise)
+        seed_sets.append(tuple(nodes[cursor : cursor + size]))
+        cursor += size
+    return graph, tuple(seed_sets)
+
+
+@SETTINGS
+@given(data=graph_and_seeds(max_m=3))
+def test_molesp_complete_for_m_le_3(data):
+    """Property 8: MoLESP == GAM == BFT for m <= 3."""
+    graph, seed_sets = data
+    gam = GAMSearch().run(graph, seed_sets)
+    molesp = MoLESPSearch().run(graph, seed_sets)
+    bft = BFTSearch().run(graph, seed_sets)
+    assert molesp.edge_sets() == gam.edge_sets() == bft.edge_sets()
+
+
+@SETTINGS
+@given(data=graph_and_seeds(max_m=3))
+def test_all_results_satisfy_definition_2_8(data):
+    graph, seed_sets = data
+    results = MoLESPSearch().run(graph, seed_sets)
+    assert_all_valid(graph, results, seed_sets)
+
+
+@SETTINGS
+@given(data=graph_and_seeds(max_m=2))
+def test_esp_complete_for_two_seed_sets(data):
+    """Property 3."""
+    graph, seed_sets = data
+    esp = ESPSearch().run(graph, seed_sets)
+    gam = GAMSearch().run(graph, seed_sets)
+    assert esp.edge_sets() == gam.edge_sets()
+
+
+@SETTINGS
+@given(data=graph_and_seeds(max_m=4))
+def test_pruned_variants_never_exceed_gam(data):
+    graph, seed_sets = data
+    gam = GAMSearch().run(graph, seed_sets).edge_sets()
+    moesp = MoESPSearch().run(graph, seed_sets).edge_sets()
+    molesp = MoLESPSearch().run(graph, seed_sets).edge_sets()
+    assert moesp <= molesp <= gam
+
+
+@SETTINGS
+@given(data=graph_and_seeds(max_m=3, singleton=True))
+def test_dpbf_optimum_matches_smallest_result(data):
+    """DPBF's minimum weight equals the size of the smallest CTP result
+    (unit weights, singleton seed sets), and no CTP result is smaller.
+
+    Restricted to singleton sets on purpose: with multi-node sets, classic
+    GST semantics may route a tree through *two* members of one group,
+    which Definition 2.8 (ii) forbids — see
+    ``test_dpbf_diverges_from_ctp_on_overlapping_sets``.
+    """
+    graph, seed_sets = data
+    complete = GAMSearch().run(graph, seed_sets)
+    optimal = dpbf_optimal_tree(graph, seed_sets)
+    if len(complete) == 0:
+        assert optimal is None
+    else:
+        smallest = min(result.size for result in complete)
+        assert optimal is not None
+        assert optimal.size == smallest
+
+
+def test_dpbf_diverges_from_ctp_on_overlapping_sets():
+    """The hypothesis-found counterexample, pinned: on the path 0-1-2 with
+    S1={0,1}, S2={2}, S3={0}, classic GST connects the groups via the tree
+    0-1-2 (two S1 members!), while CTP semantics has *no* result because
+    every 0-2 connection passes through the second S1 node."""
+    graph = Graph("counterexample")
+    for index in range(3):
+        graph.add_node(f"n{index}")
+    graph.add_edge(0, 1, "e")
+    graph.add_edge(1, 2, "e")
+    seed_sets = ((0, 1), (2,), (0,))
+    assert len(GAMSearch().run(graph, seed_sets)) == 0
+    optimal = dpbf_optimal_tree(graph, seed_sets)
+    assert optimal is not None and optimal.size == 2
+
+
+@SETTINGS
+@given(data=graph_and_seeds(max_m=3))
+def test_max_filter_equals_post_filter(data):
+    graph, seed_sets = data
+    complete = MoLESPSearch().run(graph, seed_sets)
+    bounded = MoLESPSearch().run(graph, seed_sets, SearchConfig(max_edges=3))
+    expected = frozenset(r.edges for r in complete if r.size <= 3)
+    assert bounded.edge_sets() == expected
+
+
+@SETTINGS
+@given(data=graph_and_seeds(max_m=3))
+def test_balanced_queues_preserve_completeness(data):
+    """Section 4.9 (ii) is a scheduling change, not a semantic one."""
+    graph, seed_sets = data
+    single = MoLESPSearch().run(graph, seed_sets, SearchConfig(balanced_queues=False))
+    balanced = MoLESPSearch().run(graph, seed_sets, SearchConfig(balanced_queues=True))
+    assert single.edge_sets() == balanced.edge_sets()
+
+
+@SETTINGS
+@given(data=graph_and_seeds(max_m=3))
+def test_results_independent_of_queue_order(data):
+    """Section 4.8: completeness guarantees hold for any exploration order."""
+    graph, seed_sets = data
+    default = MoLESPSearch().run(graph, seed_sets)
+    reversed_order = MoLESPSearch().run(graph, seed_sets, SearchConfig(order=lambda t: -t.size))
+    assert default.edge_sets() == reversed_order.edge_sets()

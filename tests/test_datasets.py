@@ -1,0 +1,110 @@
+"""The paper's worked-example graphs must match the constraints in the text."""
+
+from repro.graph.datasets import (
+    figure1,
+    figure1_edge,
+    figure1_seed_sets,
+    figure3,
+    figure4,
+    figure4_result_edges,
+    figure5,
+    figure6,
+    figure7,
+)
+
+
+class TestFigure1:
+    def test_shape(self):
+        graph = figure1()
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 19
+
+    def test_paper_node_types(self):
+        graph = figure1()
+        by_label = {graph.node(n).label: graph.node(n) for n in graph.node_ids()}
+        assert "company" in by_label["OrgB"].types
+        assert "entrepreneur" in by_label["Alice"].types
+        assert "politician" in by_label["Elon"].types
+        assert "country" in by_label["USA"].types
+        assert by_label["National Liberal Party"].types == frozenset()
+
+    def test_bgp_b1_constraints(self):
+        """Section 2's BGP b1 = {(x, citizenOf, USA), (x, founded, OrgB)}
+        must have an embedding (x = Bob)."""
+        graph = figure1()
+        bob = graph.find_node_by_label("Bob")
+        usa = graph.find_node_by_label("USA")
+        orgb = graph.find_node_by_label("OrgB")
+        citizen_edges = {(graph.edge(e).source, graph.edge(e).target) for e in graph.edges_with_label("citizenOf")}
+        founded_edges = {(graph.edge(e).source, graph.edge(e).target) for e in graph.edges_with_label("founded")}
+        assert (bob, usa) in citizen_edges
+        assert (bob, orgb) in founded_edges
+
+    def test_seed_sets_match_section2(self):
+        """S1 = {n2, n4}, S2 = {n3, n6}, S3 = {n9} in paper numbering."""
+        graph = figure1()
+        s1, s2, s3 = figure1_seed_sets(graph)
+        labels = lambda ids: sorted(graph.node(n).label for n in ids)
+        assert labels(s1) == ["Bob", "Carole"]
+        assert labels(s2) == ["Alice", "Doug"]
+        assert labels(s3) == ["Elon"]
+
+    def test_t_alpha_edges(self):
+        """t_alpha = {e10, e9, e11}: Carole->OrgC, Doug->OrgC, Elon->Doug."""
+        graph = figure1()
+        e10 = graph.edge(figure1_edge(10))
+        assert graph.node(e10.source).label == "Carole"
+        assert graph.node(e10.target).label == "OrgC"
+        e9 = graph.edge(figure1_edge(9))
+        assert graph.node(e9.source).label == "Doug"
+        assert graph.node(e9.target).label == "OrgC"
+        e11 = graph.edge(figure1_edge(11))
+        assert graph.node(e11.source).label == "Elon"
+        assert graph.node(e11.target).label == "Doug"
+
+    def test_t_beta_is_undirected_only(self):
+        """No node of t_beta reaches the others along directed edges
+        (the paper's argument for bidirectional semantics, R3)."""
+        graph = figure1()
+        edges = [figure1_edge(k) for k in (1, 2, 17, 16)]
+        # all four edges point *into* OrgB / the party: sources are distinct
+        targets = {graph.edge(e).target for e in edges}
+        labels = {graph.node(t).label for t in targets}
+        assert labels == {"OrgB", "National Liberal Party"}
+
+
+class TestSmallFigures:
+    def test_figure3_is_a_line(self):
+        graph, seeds = figure3()
+        assert graph.num_edges == 5
+        assert len(seeds) == 3
+        degrees = sorted(graph.degree(n) for n in graph.node_ids())
+        assert degrees == [1, 1, 2, 2, 2, 2]  # two endpoints, four inner
+
+    def test_figure4_result_is_2ps(self):
+        graph, seeds = figure4()
+        result = figure4_result_edges(graph)
+        assert len(result) == 11
+        assert len(seeds) == 6
+
+    def test_figure5_center_degree(self):
+        graph, seeds = figure5()
+        x = graph.find_node_by_label("x")
+        assert graph.degree(x) == 3
+        assert len(seeds) == 3
+
+    def test_figure6_two_branching_nodes(self):
+        graph, seeds = figure6()
+        assert len(seeds) == 4
+        branching = [n for n in graph.node_ids() if graph.degree(n) == 3]
+        assert len(branching) == 2  # nodes 2 and 3: not a rooted merge
+
+    def test_figure7_structure(self):
+        graph, seeds = figure7()
+        assert len(seeds) == 6
+        x = graph.find_node_by_label("x")
+        y = graph.find_node_by_label("y")
+        assert graph.degree(x) == 3
+        assert graph.degree(y) == 4
+        b = graph.find_node_by_label("B")
+        assert graph.degree(b) == 2  # B participates in both stars

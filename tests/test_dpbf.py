@@ -1,0 +1,117 @@
+"""Tests for the DPBF exact group-Steiner baseline."""
+
+import pytest
+
+from repro.baselines.dpbf import dpbf_optimal_tree
+from repro.ctp.config import WILDCARD
+from repro.errors import SearchError
+from repro.graph.graph import Graph
+from repro.workloads.synthetic import line_graph, star_graph
+
+
+def test_line_optimum():
+    graph, seeds = line_graph(3, 2)
+    result = dpbf_optimal_tree(graph, seeds)
+    assert result.size == 6
+    assert result.weight == 6.0
+
+
+def test_star_optimum():
+    graph, seeds = star_graph(5, 2)
+    result = dpbf_optimal_tree(graph, seeds)
+    assert result.size == 10
+
+
+def test_single_node_solution():
+    g = Graph()
+    a = g.add_node("a")
+    g.add_node("b")
+    g.add_edge(0, 1)
+    result = dpbf_optimal_tree(g, [[a], [a]])
+    assert result.size == 0
+    assert result.nodes == frozenset({a})
+    assert result.seeds == (a, a)
+
+
+def test_weights_drive_choice():
+    """Parallel edges with different weights: DPBF takes the light one."""
+    g = Graph()
+    a, b = g.add_node("a"), g.add_node("b")
+    heavy = g.add_edge(a, b, "h", weight=5.0)
+    light = g.add_edge(a, b, "l", weight=1.0)
+    result = dpbf_optimal_tree(g, [[a], [b]])
+    assert result.edges == frozenset({light})
+    assert result.weight == 1.0
+
+
+def test_detour_cheaper_than_direct():
+    g = Graph()
+    a, b, c = g.add_node("a"), g.add_node("b"), g.add_node("c")
+    g.add_edge(a, b, "direct", weight=10.0)
+    e1 = g.add_edge(a, c, "via", weight=1.0)
+    e2 = g.add_edge(c, b, "via", weight=1.0)
+    result = dpbf_optimal_tree(g, [[a], [b]])
+    assert result.edges == frozenset({e1, e2})
+
+
+def test_multi_node_seed_sets_choose_best_pair():
+    g = Graph()
+    a1, a2, b1, b2 = (g.add_node(n) for n in ("a1", "a2", "b1", "b2"))
+    g.add_edge(a1, b1, weight=7.0)
+    cheap = g.add_edge(a2, b2, weight=1.0)
+    result = dpbf_optimal_tree(g, [[a1, a2], [b1, b2]])
+    assert result.edges == frozenset({cheap})
+    assert result.seeds == (a2, b2)
+
+
+def test_disconnected_returns_none():
+    g = Graph()
+    a = g.add_node("a")
+    b = g.add_node("b")
+    assert dpbf_optimal_tree(g, [[a], [b]]) is None
+
+
+def test_empty_seed_set_returns_none():
+    g = Graph()
+    a = g.add_node("a")
+    assert dpbf_optimal_tree(g, [[a], []]) is None
+
+
+def test_wildcard_rejected():
+    g = Graph()
+    a = g.add_node("a")
+    with pytest.raises(SearchError):
+        dpbf_optimal_tree(g, [[a], WILDCARD])
+
+
+def test_uni_requires_directed_reachability():
+    """a -> x <- b: bidirectionally connected, but no node reaches both
+    seeds along edge directions, so the UNI optimum does not exist."""
+    g = Graph()
+    a, x, b = g.add_node("a"), g.add_node("x"), g.add_node("b")
+    g.add_edge(a, x)
+    g.add_edge(b, x)
+    assert dpbf_optimal_tree(g, [[a], [b]]) is not None
+    assert dpbf_optimal_tree(g, [[a], [b]], uni=True) is None
+
+
+def test_uni_arborescence_found():
+    """r -> a, r -> b: r reaches both seeds."""
+    g = Graph()
+    r, a, b = g.add_node("r"), g.add_node("a"), g.add_node("b")
+    e1 = g.add_edge(r, a)
+    e2 = g.add_edge(r, b)
+    result = dpbf_optimal_tree(g, [[a], [b]], uni=True)
+    assert result is not None
+    assert result.edges == frozenset({e1, e2})
+
+
+def test_m4_star():
+    graph, seeds = star_graph(4, 3)
+    result = dpbf_optimal_tree(graph, seeds)
+    assert result.size == 12
+
+
+def test_timeout_returns_none():
+    graph, seeds = star_graph(8, 6)
+    assert dpbf_optimal_tree(graph, seeds, timeout=0.0) is None

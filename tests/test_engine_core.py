@@ -1,0 +1,154 @@
+"""Core engine behaviour: seed normalization, growth rules, invariants."""
+
+import random
+
+import pytest
+
+from conftest import assert_all_valid, random_graph, random_seed_sets
+from repro.ctp.config import WILDCARD, SearchConfig
+from repro.ctp.engine import normalize_seed_sets
+from repro.ctp.molesp import MoLESPSearch
+from repro.ctp.gam import GAMSearch
+from repro.errors import GraphError, SearchError
+from repro.graph.graph import Graph
+
+
+class TestNormalizeSeedSets:
+    def test_dedups_within_set(self, fig1):
+        normalized, wildcard = normalize_seed_sets(fig1, [[0, 0, 1], [2]])
+        assert normalized == [(0, 1), (2,)]
+        assert wildcard == []
+
+    def test_wildcard_positions(self, fig1):
+        normalized, wildcard = normalize_seed_sets(fig1, [[0], WILDCARD, [1]])
+        assert normalized[1] is None
+        assert wildcard == [1]
+
+    def test_unknown_node_rejected(self, fig1):
+        with pytest.raises(GraphError):
+            normalize_seed_sets(fig1, [[999], [0]])
+
+    def test_empty_input_rejected(self, fig1):
+        with pytest.raises(SearchError):
+            normalize_seed_sets(fig1, [])
+
+    def test_all_wildcard_rejected(self, fig1):
+        with pytest.raises(SearchError):
+            normalize_seed_sets(fig1, [WILDCARD, WILDCARD])
+
+
+class TestBasicSearch:
+    def test_single_node_result(self):
+        """s1 = s2 = s3: the single node is the whole result (Property 8 case i)."""
+        g = Graph()
+        a = g.add_node("a")
+        g.add_node("b")
+        g.add_edge(0, 1)
+        results = MoLESPSearch().run(g, [[a], [a]])
+        assert len(results) == 1
+        (result,) = results.results
+        assert result.edges == frozenset()
+        assert result.seeds == (a, a)
+
+    def test_one_edge_result(self, tiny_path_graph):
+        graph, seeds = tiny_path_graph
+        results = MoLESPSearch().run(graph, seeds)
+        assert len(results) == 1
+        assert results.results[0].size == 2
+
+    def test_node_in_two_seed_sets(self):
+        g = Graph()
+        a = g.add_node("a")
+        b = g.add_node("b")
+        g.add_edge(a, b)
+        # a belongs to both sets, so the single node {a} is a result.  The
+        # edge a-b is NOT one: it would contain two nodes of the second set
+        # (a and b), violating minimality condition (ii) of Definition 2.8.
+        results = MoLESPSearch().run(g, [[a], [a, b]])
+        assert results.edge_sets() == frozenset({frozenset()})
+
+    def test_disconnected_seeds_no_result(self):
+        g = Graph()
+        a = g.add_node("a")
+        b = g.add_node("b")
+        results = MoLESPSearch().run(g, [[a], [b]])
+        assert len(results) == 0
+        assert results.complete
+
+    def test_empty_seed_set_no_result(self, tiny_path_graph):
+        graph, (s1, _) = tiny_path_graph
+        results = MoLESPSearch().run(graph, [s1, []])
+        assert len(results) == 0
+        assert results.complete
+
+    def test_self_loops_never_used(self):
+        g = Graph()
+        a = g.add_node("a")
+        b = g.add_node("b")
+        g.add_edge(a, a, "loop")
+        g.add_edge(a, b, "x")
+        results = MoLESPSearch().run(g, [[a], [b]])
+        assert results.edge_sets() == frozenset({frozenset({1})})
+
+    def test_parallel_edges_distinct_results(self):
+        g = Graph()
+        a = g.add_node("a")
+        b = g.add_node("b")
+        g.add_edge(a, b, "x")
+        g.add_edge(b, a, "y")
+        results = MoLESPSearch().run(g, [[a], [b]])
+        assert len(results) == 2
+
+
+class TestMinimality:
+    """Every reported tree satisfies Definition 2.8 (checked structurally)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs_all_results_valid(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(rng, num_nodes=8, num_edges=12)
+        seed_sets = random_seed_sets(rng, graph, m=3)
+        for algo in (GAMSearch(), MoLESPSearch()):
+            results = algo.run(graph, seed_sets)
+            assert_all_valid(graph, results, seed_sets)
+
+    def test_one_node_per_seed_set(self, fig1, fig1_seeds):
+        results = MoLESPSearch().run(fig1, fig1_seeds)
+        for result in results:
+            for index, seed_set in enumerate(fig1_seeds):
+                assert len(result.nodes & set(seed_set)) == 1
+                assert result.seeds[index] in seed_set
+
+
+class TestStats:
+    def test_counters_consistent(self, fig1, fig1_seeds):
+        results = MoLESPSearch().run(fig1, fig1_seeds)
+        stats = results.stats
+        assert stats.init_trees == 5
+        assert stats.results_found == len(results)
+        assert stats.provenances == stats.trees_kept + stats.mo_copies
+        assert stats.merges <= stats.merges_attempted
+        assert stats.elapsed_seconds > 0
+
+    def test_molesp_builds_fewer_provenances_than_gam(self, fig1, fig1_seeds):
+        gam = GAMSearch().run(fig1, fig1_seeds)
+        molesp = MoLESPSearch().run(fig1, fig1_seeds)
+        assert molesp.stats.provenances < gam.stats.provenances
+
+    def test_max_trees_valve(self, fig1, fig1_seeds):
+        results = MoLESPSearch().run(fig1, fig1_seeds, SearchConfig(max_trees=10))
+        assert not results.complete
+        assert results.stats.trees_kept <= 11
+
+
+class TestDuplicateHandling:
+    def test_gam_results_deduplicated_by_edge_set(self, fig1, fig1_seeds):
+        results = GAMSearch().run(fig1, fig1_seeds)
+        edge_sets = [r.edges for r in results]
+        assert len(edge_sets) == len(set(edge_sets))
+
+    def test_config_kwargs_and_object_conflict(self, fig1, fig1_seeds):
+        from repro.ctp.registry import evaluate_ctp
+
+        with pytest.raises(SearchError):
+            evaluate_ctp(fig1, fig1_seeds, config=SearchConfig(), max_edges=3)

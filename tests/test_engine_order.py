@@ -1,0 +1,100 @@
+"""Exploration-order behaviour (Sections 4.2 and 4.8).
+
+The paper's experiments favour the smallest trees in the priority queue;
+Section 4.8 observes that any order can be combined with MoLESP because
+its guarantees are order-independent.  These tests observe the order
+through LIMIT: the first result produced under a given order must be the
+one that order favours.
+"""
+
+import pytest
+
+from repro.ctp.config import WILDCARD, SearchConfig
+from repro.ctp.molesp import MoLESPSearch
+from repro.graph.graph import Graph
+from repro.query.scoring import size_score
+
+
+@pytest.fixture
+def two_route_graph():
+    """A short (1 edge via hub) and a long (3 edges) route between a, b."""
+    g = Graph()
+    a, b = g.add_node("a"), g.add_node("b")
+    hub = g.add_node("hub")
+    x1, x2 = g.add_node("x1"), g.add_node("x2")
+    g.add_edge(a, hub, "short")  # 0
+    g.add_edge(hub, b, "short")  # 1
+    g.add_edge(a, x1, "long")  # 2
+    g.add_edge(x1, x2, "long")  # 3
+    g.add_edge(x2, b, "long")  # 4
+    return g, a, b
+
+
+def test_smallest_first_order_finds_short_route_first(two_route_graph):
+    g, a, b = two_route_graph
+    results = MoLESPSearch().run(g, [[a], [b]], SearchConfig(limit=1))
+    assert len(results) == 1
+    assert results.results[0].size == 2  # the 2-edge hub route
+
+
+def test_merge_opportunities_bypass_queue_order(two_route_graph):
+    """Section 4.2: the enumeration order is set 'first, by the priority of
+    the queue, and second, by the available Merge opportunities'.  Merges
+    fire eagerly, so even a largest-first queue yields the short hub route
+    first — its two half-paths meet and merge before the long route's
+    chain of Grow steps completes."""
+    g, a, b = two_route_graph
+    config = SearchConfig(limit=1, order=lambda tree: -tree.size)
+    results = MoLESPSearch().run(g, [[a], [b]], config)
+    assert results.results[0].size == 2
+
+
+def test_score_guided_order_prefers_high_scores(two_route_graph):
+    g, a, b = two_route_graph
+    config = SearchConfig(limit=1, score=size_score, order="score")
+    results = MoLESPSearch().run(g, [[a], [b]], config)
+    # size_score favours small trees, so the hub route comes first
+    assert results.results[0].size == 2
+
+
+def test_order_does_not_change_complete_result_set(two_route_graph):
+    g, a, b = two_route_graph
+    default = MoLESPSearch().run(g, [[a], [b]])
+    reverse = MoLESPSearch().run(g, [[a], [b]], SearchConfig(order=lambda t: -t.size))
+    assert default.edge_sets() == reverse.edge_sets()
+    assert len(default) == 2
+
+
+class TestWildcardWithFilters:
+    def test_wildcard_uni_results_are_arborescences(self):
+        g = Graph()
+        a = g.add_node("a")
+        out1 = g.add_node("o1")
+        out2 = g.add_node("o2")
+        inc = g.add_node("i")
+        g.add_edge(a, out1, "e")  # a -> o1
+        g.add_edge(out1, out2, "e")  # o1 -> o2
+        g.add_edge(inc, a, "e")  # i -> a
+        config = SearchConfig(uni=True, max_edges=2)
+        results = MoLESPSearch().run(g, [[a], WILDCARD], config)
+        for result in results:
+            in_deg = {node: 0 for node in result.nodes}
+            for edge_id in result.edges:
+                in_deg[g.edge(edge_id).target] += 1
+            roots = [n for n, d in in_deg.items() if d == 0]
+            assert len(roots) == 1 or not result.edges
+
+    def test_wildcard_label_filter(self, fig1):
+        bob = fig1.find_node_by_label("Bob")
+        config = SearchConfig(labels=frozenset({"founded"}), max_edges=2)
+        results = MoLESPSearch().run(fig1, [[bob], WILDCARD], config)
+        for result in results:
+            assert all(fig1.edge(e).label == "founded" for e in result.edges)
+
+    def test_wildcard_with_score_top_k(self, fig1):
+        bob = fig1.find_node_by_label("Bob")
+        config = SearchConfig(score=size_score, top_k=3, max_edges=3)
+        results = MoLESPSearch().run(fig1, [[bob], WILDCARD], config)
+        assert len(results) == 3
+        # size_score: the single-node tree scores 1.0 and must be kept
+        assert frozenset() in results.edge_sets()

@@ -1,0 +1,60 @@
+"""The error hierarchy and registry behaviour."""
+
+import pytest
+
+from repro.ctp.registry import ALGORITHMS, COMPLETE_ALGORITHMS, evaluate_ctp, get_algorithm
+from repro.errors import (
+    BudgetExceeded,
+    EvaluationError,
+    GraphError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SearchError,
+    StorageError,
+    ValidationError,
+    WorkloadError,
+)
+
+
+def test_hierarchy():
+    for error_class in (
+        GraphError,
+        StorageError,
+        QueryError,
+        SearchError,
+        BudgetExceeded,
+        WorkloadError,
+    ):
+        assert issubclass(error_class, ReproError)
+    assert issubclass(ParseError, QueryError)
+    assert issubclass(ValidationError, QueryError)
+    assert issubclass(EvaluationError, QueryError)
+
+
+def test_parse_error_position_rendering():
+    error = ParseError("bad token", line=4)
+    assert "line 4" in str(error)
+    error = ParseError("bad char", position=17)
+    assert "offset 17" in str(error)
+
+
+def test_registry_contents():
+    assert set(ALGORITHMS) == {"bft", "bft-m", "bft-am", "gam", "esp", "moesp", "lesp", "molesp"}
+    for name in COMPLETE_ALGORITHMS:
+        assert name in ALGORITHMS
+
+
+def test_get_algorithm_case_insensitive():
+    assert get_algorithm("MoLESP").name == "molesp"
+
+
+def test_get_algorithm_unknown():
+    with pytest.raises(SearchError) as info:
+        get_algorithm("dijkstra")
+    assert "known:" in str(info.value)
+
+
+def test_evaluate_ctp_smoke(fig1, fig1_seeds):
+    results = evaluate_ctp(fig1, fig1_seeds, "esp")
+    assert results.algorithm == "esp"

@@ -1,0 +1,231 @@
+"""End-to-end EQL evaluation tests (Section 3 strategy, Definition 2.10)."""
+
+import pytest
+
+from repro.ctp.config import SearchConfig
+from repro.ctp.results import ResultTree
+from repro.errors import EvaluationError
+from repro.graph.datasets import figure1, figure1_edge
+from repro.query.evaluator import evaluate_query
+
+Q1 = """
+SELECT ?x ?y ?z ?w
+WHERE {
+  ?x citizenOf "USA" .
+  ?y citizenOf "France" .
+  ?z citizenOf "France" .
+  FILTER(type(?x) = "entrepreneur")
+  FILTER(type(?y) = "entrepreneur")
+  FILTER(type(?z) = "politician")
+  CONNECT(?x, ?y, ?z) AS ?w
+}
+"""
+
+
+@pytest.fixture
+def fig1():
+    return figure1()
+
+
+class TestQ1:
+    def test_row_count_matches_complete_ctp(self, fig1):
+        result = evaluate_query(fig1, Q1)
+        assert len(result) == 64
+
+    def test_seed_sets_derived_from_bgps(self, fig1):
+        result = evaluate_query(fig1, Q1)
+        report = result.ctp_reports[0]
+        assert report.seed_set_sizes == (2, 2, 1)
+        assert report.algorithm == "molesp"
+
+    def test_t_alpha_row_present(self, fig1):
+        result = evaluate_query(fig1, Q1)
+        t_alpha = frozenset(figure1_edge(k) for k in (10, 9, 11))
+        names = {n: fig1.find_node_by_label(n) for n in ("Carole", "Doug", "Elon")}
+        match = [
+            row
+            for row in result.rows
+            if row[3].edges == t_alpha
+        ]
+        assert len(match) == 1
+        row = match[0]
+        assert row[0] == names["Carole"]
+        assert row[1] == names["Doug"]
+        assert row[2] == names["Elon"]
+
+    def test_t_beta_row_present(self, fig1):
+        result = evaluate_query(fig1, Q1)
+        t_beta = frozenset(figure1_edge(k) for k in (1, 2, 17, 16))
+        assert any(row[3].edges == t_beta for row in result.rows)
+
+    def test_timings_populated(self, fig1):
+        result = evaluate_query(fig1, Q1)
+        assert result.timings.bgp_seconds >= 0
+        assert result.timings.ctp_seconds > 0
+        assert result.timings.total_seconds > 0
+
+    def test_tree_values_are_result_trees(self, fig1):
+        result = evaluate_query(fig1, Q1)
+        assert all(isinstance(row[3], ResultTree) for row in result.rows)
+
+    def test_format_resolves_labels(self, fig1):
+        text = evaluate_query(fig1, Q1).format(limit=3)
+        assert "Carole" in text or "Bob" in text
+        assert "?w" in text
+
+    def test_to_dicts(self, fig1):
+        dicts = evaluate_query(fig1, Q1).to_dicts()
+        assert set(dicts[0]) == {"x", "y", "z", "w"}
+
+
+class TestAlgorithmsAgree:
+    def test_gam_and_molesp_same_rows(self, fig1):
+        molesp = evaluate_query(fig1, Q1, algorithm="molesp")
+        gam = evaluate_query(fig1, Q1, algorithm="gam")
+        key = lambda result: {(r[0], r[1], r[2], r[3].edges) for r in result.rows}
+        assert key(molesp) == key(gam)
+
+
+class TestFiltersPushed:
+    def test_max_filter(self, fig1):
+        query = Q1.replace("AS ?w", "AS ?w MAX 3")
+        result = evaluate_query(fig1, query)
+        assert all(row[3].size <= 3 for row in result.rows)
+        assert 0 < len(result) < 64
+
+    def test_limit_filter(self, fig1):
+        query = Q1.replace("AS ?w", "AS ?w LIMIT 1")
+        result = evaluate_query(fig1, query)
+        assert len(result) == 1
+
+    def test_score_attached(self, fig1):
+        query = Q1.replace("AS ?w", "AS ?w SCORE size")
+        result = evaluate_query(fig1, query)
+        assert all(row[3].score is not None for row in result.rows)
+
+    def test_top_k(self, fig1):
+        query = Q1.replace("AS ?w", "AS ?w SCORE size TOP 5")
+        result = evaluate_query(fig1, query)
+        assert len(result) == 5
+        # the kept trees are the smallest ones
+        sizes = sorted(row[3].size for row in result.rows)
+        assert sizes[0] == 3
+
+    def test_label_filter(self, fig1):
+        query = Q1.replace("AS ?w", 'AS ?w LABEL("citizenOf", "parentOf")')
+        result = evaluate_query(fig1, query)
+        for row in result.rows:
+            labels = {fig1.edge(e).label for e in row[3].edges}
+            assert labels <= {"citizenOf", "parentOf"}
+
+    def test_uni_filter(self, fig1):
+        query = Q1.replace("AS ?w", "AS ?w UNI")
+        result = evaluate_query(fig1, query)
+        t_beta = frozenset(figure1_edge(k) for k in (1, 2, 17, 16))
+        # t_beta is not unidirectional (Section 2), so it must disappear
+        assert all(row[3].edges != t_beta for row in result.rows)
+        assert len(result) < 64
+
+    def test_base_config_defaults(self, fig1):
+        base = SearchConfig(max_edges=3)
+        result = evaluate_query(fig1, Q1, base_config=base)
+        assert all(row[3].size <= 3 for row in result.rows)
+
+    def test_query_level_limit(self, fig1):
+        result = evaluate_query(fig1, Q1 + " LIMIT 10")
+        assert len(result) == 10
+
+
+class TestSeedSetDerivation:
+    def test_free_variable_with_predicate(self, fig1):
+        query = """
+        SELECT ?z ?w WHERE {
+          CONNECT("OrgB", ?z) AS ?w
+          FILTER(type(?z) = "politician")
+        }
+        """
+        result = evaluate_query(fig1, query)
+        report = result.ctp_reports[0]
+        assert report.seed_set_sizes == (1, 2)  # OrgB; Elon + Falcon
+
+    def test_wildcard_seed_set(self, fig1):
+        query = 'SELECT ?w WHERE { CONNECT("Bob", *) AS ?w MAX 1 }'
+        result = evaluate_query(fig1, query)
+        report = result.ctp_reports[0]
+        assert report.seed_set_sizes[1] is None
+        # Bob alone + one tree per incident edge of Bob
+        assert len(report.result_set) == 1 + fig1.degree(fig1.find_node_by_label("Bob"))
+
+    def test_empty_seed_set_no_results(self, fig1):
+        query = """
+        SELECT ?w WHERE {
+          CONNECT(?x, "OrgB") AS ?w
+          FILTER(type(?x) = "alien")
+        }
+        """
+        assert len(evaluate_query(fig1, query)) == 0
+
+
+class TestMultipleCTPsAndJoins:
+    def test_two_ctps(self, fig1):
+        query = """
+        SELECT ?x ?w1 ?w2 WHERE {
+          ?x founded "OrgB" .
+          CONNECT(?x, "France") AS ?w1 MAX 3
+          CONNECT(?x, "National Liberal Party") AS ?w2 MAX 2
+        }
+        """
+        result = evaluate_query(fig1, query)
+        assert len(result) > 0
+        assert set(result.columns) == {"x", "w1", "w2"}
+        assert len(result.ctp_reports) == 2
+
+    def test_join_restricts_ctp_results(self, fig1):
+        # without the BGP the CTP would run over every entrepreneur
+        query = """
+        SELECT ?x ?w WHERE {
+          ?x founded "OrgC" .
+          CONNECT(?x, "USA") AS ?w MAX 2
+        }
+        """
+        result = evaluate_query(fig1, query)
+        carole = fig1.find_node_by_label("Carole")
+        assert all(row[0] == carole for row in result.rows)
+
+    def test_distinct_false_keeps_duplicates(self, fig1):
+        query = """
+        SELECT ?u WHERE {
+          ?x citizenOf ?u .
+        }
+        """
+        with_dups = evaluate_query(fig1, query, distinct=False)
+        without = evaluate_query(fig1, query, distinct=True)
+        assert len(with_dups) == 5
+        assert len(without) == 2  # USA, France
+
+
+class TestErrors:
+    def test_all_wildcard_ctp_rejected(self, fig1):
+        """A CTP whose every seed predicate is free and unconstrained would
+        ask for connections between everything and everything — the engine
+        refuses it (Section 4.9 requires at least one explicit set)."""
+        from repro.errors import SearchError
+        from repro.query.ast import CTP, EQLQuery, Predicate
+
+        query = EQLQuery(
+            head=("x",),
+            ctps=(CTP((Predicate("x"), Predicate("y")), "w"),),
+        )
+        with pytest.raises(SearchError):
+            evaluate_query(fig1, query, base_config=SearchConfig(max_edges=0))
+
+    def test_one_constrained_seed_suffices(self, fig1):
+        query = """
+        SELECT ?x ?w WHERE {
+          CONNECT(?x, *) AS ?w MAX 1
+          FILTER(type(?x) = "politician")
+        }
+        """
+        result = evaluate_query(fig1, query)
+        assert len(result) > 0
+        assert result.columns == ("x", "w")

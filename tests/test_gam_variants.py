@@ -1,0 +1,162 @@
+"""Relationships between GAM-family variants (Sections 4.4-4.7).
+
+The paper's containment claims, checked on many graphs:
+
+* ESP results ⊆ GAM results (pruning never invents results);
+* MoESP ⊇ ESP ("MoESP builds a strict superset of the rooted trees
+  created by ESP, thus it finds all results of ESP");
+* MoLESP ⊇ MoESP and MoLESP ⊇ LESP ("MoLESP finds all the trees found by
+  MoESP and LESP");
+* Property 3: with 2 seed sets, ESP (and every variant) is complete;
+* Property 5: MoESP finds all path results, for any m;
+* Property 8: MoLESP is complete for m <= 3.
+"""
+
+import random
+
+import pytest
+
+from conftest import assert_all_valid, random_graph, random_seed_sets
+from repro.ctp.esp import ESPSearch
+from repro.ctp.gam import GAMSearch
+from repro.ctp.lesp import LESPSearch
+from repro.ctp.moesp import MoESPSearch
+from repro.ctp.molesp import MoLESPSearch
+from repro.workloads.synthetic import comb_graph, line_graph, star_graph
+
+ALL_VARIANTS = (ESPSearch, MoESPSearch, LESPSearch, MoLESPSearch)
+
+
+def _run_all(graph, seeds):
+    return {
+        "gam": GAMSearch().run(graph, seeds),
+        "esp": ESPSearch().run(graph, seeds),
+        "moesp": MoESPSearch().run(graph, seeds),
+        "lesp": LESPSearch().run(graph, seeds),
+        "molesp": MoLESPSearch().run(graph, seeds),
+    }
+
+
+class TestContainments:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graph_containments(self, seed):
+        rng = random.Random(seed * 7 + 1)
+        graph = random_graph(rng, num_nodes=8, num_edges=11)
+        seed_sets = random_seed_sets(rng, graph, m=rng.randint(2, 4))
+        outcome = _run_all(graph, seed_sets)
+        gam = outcome["gam"].edge_sets()
+        assert outcome["esp"].edge_sets() <= gam
+        assert outcome["moesp"].edge_sets() <= gam
+        assert outcome["lesp"].edge_sets() <= gam
+        assert outcome["molesp"].edge_sets() <= gam
+        assert outcome["esp"].edge_sets() <= outcome["moesp"].edge_sets()
+        assert outcome["esp"].edge_sets() <= outcome["lesp"].edge_sets()
+        assert outcome["moesp"].edge_sets() <= outcome["molesp"].edge_sets()
+        assert outcome["lesp"].edge_sets() <= outcome["molesp"].edge_sets()
+
+    @pytest.mark.parametrize("family", ["line", "comb", "star"])
+    def test_synthetic_containments(self, family):
+        if family == "line":
+            graph, seeds = line_graph(5, 2)
+        elif family == "comb":
+            graph, seeds = comb_graph(3, 1, 3)
+        else:
+            graph, seeds = star_graph(6, 2)
+        outcome = _run_all(graph, seeds)
+        gam = outcome["gam"].edge_sets()
+        for name in ("esp", "moesp", "lesp", "molesp"):
+            assert outcome[name].edge_sets() <= gam
+
+
+class TestProperty3TwoSeeds:
+    """ESP is complete for m = 2, for any execution order (Property 3)."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_esp_equals_gam_on_random_graphs(self, seed):
+        rng = random.Random(seed * 13 + 5)
+        graph = random_graph(rng, num_nodes=9, num_edges=13)
+        seed_sets = random_seed_sets(rng, graph, m=2)
+        esp = ESPSearch().run(graph, seed_sets)
+        gam = GAMSearch().run(graph, seed_sets)
+        assert esp.edge_sets() == gam.edge_sets()
+        assert_all_valid(graph, esp, seed_sets)
+
+    def test_esp_complete_on_chain_m2(self):
+        from repro.workloads.synthetic import chain_graph
+
+        graph, seeds = chain_graph(5)
+        assert len(ESPSearch().run(graph, seeds)) == 32
+
+
+class TestProperty5PathResults:
+    """MoESP finds all path results, for any number of seed sets."""
+
+    @pytest.mark.parametrize("m", [3, 4, 5, 6])
+    def test_line_graphs(self, m):
+        graph, seeds = line_graph(m, 2)
+        moesp = MoESPSearch().run(graph, seeds)
+        gam = GAMSearch().run(graph, seeds)
+        assert moesp.edge_sets() == gam.edge_sets()
+        assert len(moesp) == 1
+
+    def test_path_results_on_random_graphs(self):
+        """Every path-shaped GAM result must appear in MoESP's output."""
+        rng = random.Random(99)
+        for _ in range(6):
+            graph = random_graph(rng, num_nodes=8, num_edges=10)
+            seed_sets = random_seed_sets(rng, graph, m=4, max_size=1)
+            gam = GAMSearch().run(graph, seed_sets)
+            moesp = MoESPSearch().run(graph, seed_sets).edge_sets()
+            for result in gam:
+                if _is_path(graph, result.edges):
+                    assert result.edges in moesp
+
+
+def _is_path(graph, edges):
+    if not edges:
+        return True
+    degree = {}
+    for edge_id in edges:
+        edge = graph.edge(edge_id)
+        degree[edge.source] = degree.get(edge.source, 0) + 1
+        degree[edge.target] = degree.get(edge.target, 0) + 1
+    return max(degree.values()) <= 2
+
+
+class TestProperty8MoLESPComplete:
+    """MoLESP is complete for m <= 3 (Property 8)."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_random_graphs(self, seed, m):
+        rng = random.Random(seed * 31 + m)
+        graph = random_graph(rng, num_nodes=8, num_edges=12)
+        seed_sets = random_seed_sets(rng, graph, m=m)
+        molesp = MoLESPSearch().run(graph, seed_sets)
+        gam = GAMSearch().run(graph, seed_sets)
+        assert molesp.edge_sets() == gam.edge_sets()
+        assert_all_valid(graph, molesp, seed_sets)
+
+    def test_star_m3(self):
+        graph, seeds = star_graph(3, 3)
+        assert MoLESPSearch().run(graph, seeds).edge_sets() == GAMSearch().run(graph, seeds).edge_sets()
+
+
+class TestPruningEffectiveness:
+    def test_esp_reduces_provenances(self, fig1, fig1_seeds):
+        esp = ESPSearch().run(fig1, fig1_seeds)
+        gam = GAMSearch().run(fig1, fig1_seeds)
+        assert esp.stats.provenances < gam.stats.provenances
+        assert esp.stats.pruned_history > 0
+
+    def test_molesp_between_esp_and_gam(self, fig1, fig1_seeds):
+        esp = ESPSearch().run(fig1, fig1_seeds)
+        molesp = MoLESPSearch().run(fig1, fig1_seeds)
+        gam = GAMSearch().run(fig1, fig1_seeds)
+        assert esp.stats.provenances <= molesp.stats.provenances <= gam.stats.provenances
+
+    def test_mo_copies_only_in_mo_variants(self, fig1, fig1_seeds):
+        assert ESPSearch().run(fig1, fig1_seeds).stats.mo_copies == 0
+        assert LESPSearch().run(fig1, fig1_seeds).stats.mo_copies == 0
+        assert MoESPSearch().run(fig1, fig1_seeds).stats.mo_copies > 0
+        assert MoLESPSearch().run(fig1, fig1_seeds).stats.mo_copies > 0

@@ -1,0 +1,82 @@
+"""Tests for label-oriented graph construction."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, graph_from_triples
+
+
+class TestGraphBuilder:
+    def test_triple_creates_nodes(self):
+        b = GraphBuilder()
+        edge_id = b.triple("Alice", "knows", "Bob")
+        assert edge_id == 0
+        assert b.graph.num_nodes == 2
+        assert b.graph.node(b.id_of("Alice")).label == "Alice"
+
+    def test_node_reuse_by_label(self):
+        b = GraphBuilder()
+        first = b.node("Alice")
+        second = b.node("Alice")
+        assert first == second
+        assert b.graph.num_nodes == 1
+
+    def test_types_merge_on_later_calls(self):
+        b = GraphBuilder()
+        b.node("Alice", types=("person",))
+        b.node("Alice", types=("entrepreneur",))
+        assert b.graph.node(b.id_of("Alice")).types == frozenset({"person", "entrepreneur"})
+        # the type index picks up late-added types, without duplicates
+        assert b.graph.nodes_with_type("entrepreneur") == [b.id_of("Alice")]
+        b.node("Alice", types=("entrepreneur",))
+        assert b.graph.nodes_with_type("entrepreneur") == [b.id_of("Alice")]
+
+    def test_props_merge(self):
+        b = GraphBuilder()
+        b.node("Alice", age=30)
+        b.node("Alice", city="Paris")
+        node = b.graph.node(b.id_of("Alice"))
+        assert node.props == {"age": 30, "city": "Paris"}
+
+    def test_set_types(self):
+        b = GraphBuilder()
+        b.set_types("Alice", "person", "founder")
+        assert b.graph.node(b.id_of("Alice")).types == frozenset({"person", "founder"})
+
+    def test_triples_bulk(self):
+        b = GraphBuilder()
+        b.triples([("a", "x", "b"), ("b", "y", "c")])
+        assert b.graph.num_edges == 2
+        assert b.graph.num_nodes == 3
+
+    def test_ids_of(self):
+        b = GraphBuilder()
+        b.triple("a", "x", "b")
+        assert b.ids_of("a", "b") == (b.id_of("a"), b.id_of("b"))
+
+    def test_id_of_missing_raises(self):
+        b = GraphBuilder()
+        with pytest.raises(KeyError):
+            b.id_of("ghost")
+
+    def test_edge_weight_and_props(self):
+        b = GraphBuilder()
+        edge_id = b.triple("a", "x", "b", weight=4.5, year=2020)
+        edge = b.graph.edge(edge_id)
+        assert edge.weight == 4.5
+        assert edge.props["year"] == 2020
+
+
+class TestGraphFromTriples:
+    def test_basic(self):
+        g = graph_from_triples([("a", "r", "b"), ("b", "r", "c")], name="t")
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.name == "t"
+
+    def test_types_argument(self):
+        g = graph_from_triples(
+            [("Alice", "worksAt", "Inria")],
+            types={"Alice": ("person",), "Inria": ("organization",)},
+        )
+        assert g.nodes_with_type("person") == [g.find_node_by_label("Alice")]
+        assert g.nodes_with_type("organization") == [g.find_node_by_label("Inria")]

@@ -1,0 +1,67 @@
+"""Round-trip tests for graph (de)serialisation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.datasets import figure1
+from repro.graph.io import load_graph_json, load_graph_tsv, save_graph_json, save_graph_tsv
+
+
+def test_tsv_round_trip(tmp_path):
+    graph = figure1()
+    path = tmp_path / "g.tsv"
+    save_graph_tsv(graph, path)
+    loaded = load_graph_tsv(path, name="reloaded")
+    assert loaded.num_nodes == graph.num_nodes
+    assert loaded.num_edges == graph.num_edges
+    # same triples by label
+    original = sorted(
+        (graph.node(e.source).label, e.label, graph.node(e.target).label) for e in graph.edges()
+    )
+    reloaded = sorted(
+        (loaded.node(e.source).label, e.label, loaded.node(e.target).label) for e in loaded.edges()
+    )
+    assert original == reloaded
+
+
+def test_tsv_skips_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "g.tsv"
+    path.write_text("# a comment\n\nA\tknows\tB\n", encoding="utf-8")
+    graph = load_graph_tsv(path)
+    assert graph.num_edges == 1
+
+
+def test_tsv_bad_arity_raises(tmp_path):
+    path = tmp_path / "g.tsv"
+    path.write_text("A\tknows\n", encoding="utf-8")
+    with pytest.raises(GraphError) as info:
+        load_graph_tsv(path)
+    assert "expected 3" in str(info.value)
+
+
+def test_json_round_trip_preserves_everything(tmp_path):
+    b = GraphBuilder("full")
+    b.node("Alice", types=("person",), age=30)
+    b.node("Inria", types=("organization",))
+    b.triple("Alice", "worksAt", "Inria", weight=2.5, since=2021)
+    path = tmp_path / "g.json"
+    save_graph_json(b.graph, path)
+    loaded = load_graph_json(path)
+    assert loaded.name == "full"
+    assert loaded.num_nodes == 2
+    node = loaded.node(loaded.find_node_by_label("Alice"))
+    assert node.types == frozenset({"person"})
+    assert node.props == {"age": 30}
+    edge = loaded.edge(0)
+    assert edge.weight == 2.5
+    assert edge.props == {"since": 2021}
+
+
+def test_json_round_trip_figure1(tmp_path):
+    graph = figure1()
+    path = tmp_path / "fig1.json"
+    save_graph_json(graph, path)
+    loaded = load_graph_json(path)
+    assert loaded.num_edges == 19
+    assert loaded.node(loaded.find_node_by_label("Elon")).types == frozenset({"politician"})

@@ -1,0 +1,54 @@
+"""Tests for graph statistics and components."""
+
+from repro.graph.datasets import figure1
+from repro.graph.graph import Graph
+from repro.graph.stats import connected_components, degree_histogram, graph_stats
+from repro.workloads.synthetic import star_graph
+
+
+def test_connected_components_single():
+    graph = figure1()
+    components = connected_components(graph)
+    assert len(components) == 1
+    assert len(components[0]) == graph.num_nodes
+
+
+def test_connected_components_multiple():
+    g = Graph()
+    a, b, c, d = (g.add_node(str(i)) for i in range(4))
+    g.add_edge(a, b)
+    g.add_edge(c, d)
+    components = connected_components(g)
+    assert sorted(map(tuple, components)) == [(0, 1), (2, 3)]
+
+
+def test_isolated_node_is_own_component():
+    g = Graph()
+    g.add_node("alone")
+    assert connected_components(g) == [[0]]
+
+
+def test_degree_histogram_star():
+    graph, _ = star_graph(4, 1)  # center + 4 seeds, 4 edges
+    histogram = degree_histogram(graph)
+    assert histogram == {4: 1, 1: 4}
+
+
+def test_graph_stats_fields():
+    graph = figure1()
+    stats = graph_stats(graph)
+    assert stats.num_nodes == 12
+    assert stats.num_edges == 19
+    assert stats.num_components == 1
+    assert stats.max_degree >= 4
+    assert 0 < stats.mean_degree < 19
+    assert stats.node_label_count == 12
+    assert stats.edge_label_count == len(graph.edge_labels())
+    assert "nodes=12" in stats.format()
+
+
+def test_graph_stats_empty():
+    stats = graph_stats(Graph())
+    assert stats.num_nodes == 0
+    assert stats.mean_degree == 0.0
+    assert stats.num_components == 0

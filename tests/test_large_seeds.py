@@ -1,0 +1,116 @@
+"""Section 4.9: very large and wildcard (N) seed sets."""
+
+import pytest
+
+from repro.ctp.config import WILDCARD, SearchConfig
+from repro.ctp.molesp import MoLESPSearch
+from repro.ctp.results import validate_result
+from repro.graph.datasets import figure1
+from repro.graph.graph import Graph
+from repro.workloads.realworld import yago_like
+
+
+class TestWildcardSeedSets:
+    def test_connections_from_one_node(self, fig1):
+        bob = fig1.find_node_by_label("Bob")
+        results = MoLESPSearch().run(fig1, [[bob], WILDCARD], SearchConfig(max_edges=2))
+        # Bob itself, every incident edge, and every 2-edge path around Bob
+        assert len(results) > 1 + fig1.degree(bob)
+        for result in results:
+            assert bob in result.nodes
+
+    def test_wildcard_binding_is_tree_node(self, fig1):
+        bob = fig1.find_node_by_label("Bob")
+        results = MoLESPSearch().run(fig1, [[bob], WILDCARD], SearchConfig(max_edges=2))
+        for result in results:
+            assert result.seeds[1] in result.nodes
+
+    def test_single_node_result_included(self, fig1):
+        bob = fig1.find_node_by_label("Bob")
+        results = MoLESPSearch().run(fig1, [[bob], WILDCARD], SearchConfig(max_edges=1))
+        assert frozenset() in results.edge_sets()
+
+    def test_results_valid_with_wildcard(self, fig1):
+        bob = fig1.find_node_by_label("Bob")
+        results = MoLESPSearch().run(fig1, [[bob], WILDCARD], SearchConfig(max_edges=3))
+        for result in results:
+            problems = validate_result(fig1, result, [[bob], []], wildcard_positions=[1])
+            assert not problems, problems
+
+    def test_wildcard_between_two_explicit_sets(self, fig1):
+        bob = fig1.find_node_by_label("Bob")
+        elon = fig1.find_node_by_label("Elon")
+        with_wildcard = MoLESPSearch().run(
+            fig1, [[bob], WILDCARD, [elon]], SearchConfig(max_edges=4)
+        )
+        without = MoLESPSearch().run(fig1, [[bob], [elon]], SearchConfig(max_edges=4))
+        # every plain (bob, elon) connection is also a wildcard result
+        assert without.edge_sets() <= with_wildcard.edge_sets()
+
+    def test_max_edges_bounds_wildcard_explosion(self, fig1):
+        bob = fig1.find_node_by_label("Bob")
+        small = MoLESPSearch().run(fig1, [[bob], WILDCARD], SearchConfig(max_edges=1))
+        large = MoLESPSearch().run(fig1, [[bob], WILDCARD], SearchConfig(max_edges=3))
+        assert len(small) < len(large)
+
+    def test_limit_stops_wildcard_search(self, fig1):
+        bob = fig1.find_node_by_label("Bob")
+        results = MoLESPSearch().run(fig1, [[bob], WILDCARD], SearchConfig(limit=4))
+        assert len(results) == 4
+        assert not results.complete
+
+
+class TestBalancedQueues:
+    def test_auto_enables_on_skewed_sets(self):
+        graph = yago_like(scale=0.01).graph
+        small = [0]
+        big = list(graph.node_ids())[: graph.num_nodes // 2]
+        config = SearchConfig(max_edges=3, balanced_queues="auto", balance_ratio=8.0)
+        results = MoLESPSearch().run(graph, [small, big], config)
+        baseline = MoLESPSearch().run(graph, [small, big], SearchConfig(max_edges=3, balanced_queues=False))
+        assert results.edge_sets() == baseline.edge_sets()
+
+    def test_explicit_on_off_same_results(self, fig1, fig1_seeds):
+        on = MoLESPSearch().run(fig1, fig1_seeds, SearchConfig(balanced_queues=True))
+        off = MoLESPSearch().run(fig1, fig1_seeds, SearchConfig(balanced_queues=False))
+        assert on.edge_sets() == off.edge_sets()
+
+    def test_balanced_explores_small_side_first(self):
+        """With one tiny and one huge seed set, balancing lets the search
+        finish earlier under a LIMIT (the Section 4.9 motivation): the tiny
+        side's queue stays small, so its trees grow first and meet the big
+        side's Init trees quickly."""
+        graph = yago_like(scale=0.02).graph
+        persons = graph.nodes_with_type("person")
+        assert len(persons) > 50
+        anchor = [persons[0]]
+        config_balanced = SearchConfig(limit=5, balanced_queues=True)
+        config_single = SearchConfig(limit=5, balanced_queues=False)
+        balanced = MoLESPSearch().run(graph, [anchor, persons[1:]], config_balanced)
+        single = MoLESPSearch().run(graph, [anchor, persons[1:]], config_single)
+        assert len(balanced) == 5
+        assert len(single) == 5
+        # both find results; balancing should not do more work
+        assert balanced.stats.grows <= single.stats.grows * 2
+
+
+class TestJ2J3Style:
+    """The query shapes of Table 1 exercised directly on the engine."""
+
+    def test_j2_large_seed_set(self):
+        dataset = yago_like(scale=0.02)
+        graph = dataset.graph
+        persons = dataset.nodes_by_type["person"]
+        works = dataset.nodes_by_type["work"][:3]
+        config = SearchConfig(max_edges=3, timeout=10.0)
+        results = MoLESPSearch().run(graph, [works, persons], config)
+        for result in results:
+            assert result.size <= 3
+
+    def test_j3_wildcard(self):
+        dataset = yago_like(scale=0.02)
+        graph = dataset.graph
+        events = dataset.nodes_by_type["event"][:5]
+        config = SearchConfig(max_edges=2, limit=100)
+        results = MoLESPSearch().run(graph, [events, WILDCARD], config)
+        assert len(results) == 100

@@ -1,0 +1,99 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.plots import (
+    CHART_SPECS,
+    charts_for_experiment,
+    render_series_chart,
+    sparkline,
+    _log_scale,
+)
+
+
+class TestLogScale:
+    def test_monotone(self):
+        levels = _log_scale([1.0, 10.0, 100.0, 1000.0])
+        assert levels == sorted(levels)
+        assert levels[0] == 0
+        assert levels[-1] == 7
+
+    def test_none_passthrough(self):
+        assert _log_scale([None, 1.0])[0] is None
+
+    def test_all_none(self):
+        assert _log_scale([None, None]) == [None, None]
+
+    def test_constant_series(self):
+        levels = _log_scale([5.0, 5.0, 5.0])
+        assert len(set(levels)) == 1
+
+    def test_zero_clamped(self):
+        levels = _log_scale([0.0, 1.0, 100.0])
+        assert levels[0] == 0
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_gaps_for_timeouts(self):
+        line = sparkline([1.0, None, 100.0])
+        assert line[1] == " "
+
+
+class TestRenderSeriesChart:
+    ROWS = [
+        {"sL": 2, "algorithm": "gam", "time_ms": 1.0, "timed_out": False},
+        {"sL": 4, "algorithm": "gam", "time_ms": 10.0, "timed_out": False},
+        {"sL": 6, "algorithm": "gam", "time_ms": 100.0, "timed_out": True},
+        {"sL": 2, "algorithm": "molesp", "time_ms": 0.5, "timed_out": False},
+        {"sL": 4, "algorithm": "molesp", "time_ms": 2.0, "timed_out": False},
+        {"sL": 6, "algorithm": "molesp", "time_ms": 5.0, "timed_out": False},
+    ]
+
+    def test_renders_all_series(self):
+        chart = render_series_chart(self.ROWS, "sL", "algorithm", "time_ms", "t")
+        assert "gam" in chart and "molesp" in chart
+        assert "== t ==" in chart
+
+    def test_timeout_becomes_gap_and_annotation(self):
+        chart = render_series_chart(self.ROWS, "sL", "algorithm", "time_ms")
+        gam_line = next(line for line in chart.splitlines() if line.startswith("gam"))
+        assert "(1 timeouts)" in gam_line
+
+    def test_value_range_annotation(self):
+        chart = render_series_chart(self.ROWS, "sL", "algorithm", "time_ms")
+        molesp_line = next(line for line in chart.splitlines() if line.startswith("molesp"))
+        assert "0.5" in molesp_line and "5" in molesp_line
+
+    def test_all_timed_out_series(self):
+        rows = [{"x": 1, "s": "a", "v": 1.0, "timed_out": True}]
+        chart = render_series_chart(rows, "x", "s", "v")
+        assert "(all timed out)" in chart
+
+
+class TestChartsForExperiment:
+    def test_known_experiments_have_specs(self):
+        for name in ("fig02", "fig10", "fig11", "fig12", "fig13", "fig14"):
+            assert name in CHART_SPECS
+
+    def test_unknown_experiment_empty(self):
+        assert charts_for_experiment("table1", [{"a": 1}]) == ""
+
+    def test_panels_grouped(self):
+        rows = [
+            {"family": "line", "m": 3, "sL": 2, "algorithm": "gam", "time_ms": 1.0, "timed_out": False},
+            {"family": "line", "m": 5, "sL": 2, "algorithm": "gam", "time_ms": 2.0, "timed_out": False},
+        ]
+        charts = charts_for_experiment("fig11", rows)
+        assert "family=line, m=3" in charts
+        assert "family=line, m=5" in charts
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.bench.cli import main as bench_main
+
+        code = bench_main(["fig02", "--scale", "0.2", "--no-save", "--chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(log) over N" in out

@@ -1,0 +1,87 @@
+"""Public API hygiene: exports exist, are documented, and stay stable."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.graph",
+    "repro.storage",
+    "repro.query",
+    "repro.ctp",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} needs a module docstring"
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        item = getattr(module, name)
+        if (inspect.isfunction(item) or inspect.isclass(item)) and not inspect.getdoc(item):
+            undocumented.append(name)
+    assert not undocumented, f"{module_name}: undocumented public items {undocumented}"
+
+
+def test_top_level_surface():
+    import repro
+
+    for name in (
+        "Graph",
+        "GraphBuilder",
+        "evaluate_ctp",
+        "evaluate_query",
+        "parse_query",
+        "SearchConfig",
+        "WILDCARD",
+        "ResultTree",
+    ):
+        assert name in repro.__all__
+
+    assert repro.__version__
+
+
+def test_algorithm_classes_have_paper_docs():
+    """Each algorithm's docstring must cite its paper section."""
+    from repro.ctp import registry
+
+    expected_sections = {
+        "bft": "4.1",
+        "bft-m": "4.3",
+        "bft-am": "4.3",
+        "gam": "4.2",
+        "esp": "4.4",
+        "moesp": "4.5",
+        "lesp": "4.6",
+        "molesp": "4.7",
+    }
+    for name, section in expected_sections.items():
+        algo_class = registry.ALGORITHMS[name]
+        module = importlib.import_module(algo_class.__module__)
+        assert section in (module.__doc__ or "") or section in (algo_class.__doc__ or ""), (
+            f"{name}: docstring should reference paper Section {section}"
+        )
+
+
+def test_errors_all_exported():
+    from repro import errors
+
+    public = [n for n in dir(errors) if n.endswith("Error") or n == "BudgetExceeded"]
+    import repro
+
+    for name in ("ReproError", "GraphError", "QueryError", "SearchError"):
+        assert name in public
+        assert hasattr(repro, name)

@@ -1,0 +1,114 @@
+"""Tests for the QGSTP-style approximation baseline."""
+
+import pytest
+
+from repro.baselines.dpbf import dpbf_optimal_tree
+from repro.baselines.qgstp import QGSTPApproximation
+from repro.ctp.config import WILDCARD, SearchConfig
+from repro.ctp.results import is_tree
+from repro.errors import SearchError
+from repro.graph.graph import Graph
+from repro.workloads.realworld import dbpedia_like, sample_ctp_workload
+from repro.workloads.synthetic import line_graph, star_graph
+
+
+@pytest.fixture(scope="module")
+def kg():
+    return dbpedia_like(scale=0.02).graph
+
+
+def test_returns_at_most_one_result(kg):
+    workload = sample_ctp_workload(kg, scale=0.03, seed=3)
+    algo = QGSTPApproximation()
+    for seed_sets in workload:
+        results = algo.run(kg, seed_sets)
+        assert len(results) <= 1
+        assert results.algorithm == "qgstp"
+
+
+def test_result_is_a_connecting_tree(kg):
+    workload = sample_ctp_workload(kg, scale=0.03, seed=5)
+    algo = QGSTPApproximation()
+    for seed_sets in workload:
+        results = algo.run(kg, seed_sets)
+        for result in results:
+            assert is_tree(kg, result.edges)
+            for index, seed_set in enumerate(seed_sets):
+                assert result.seeds[index] in seed_set
+                assert result.seeds[index] in result.nodes
+
+
+def test_exact_on_star():
+    graph, seeds = star_graph(4, 2)
+    results = QGSTPApproximation().run(graph, seeds)
+    assert len(results) == 1
+    assert results.results[0].size == 8  # the star is the unique solution
+
+
+def test_exact_on_line():
+    graph, seeds = line_graph(3, 1)
+    results = QGSTPApproximation().run(graph, seeds)
+    assert results.results[0].size == 4
+
+
+def test_approximation_within_factor_of_optimum(kg):
+    """Star-rooted shortest paths give at most m * OPT; check a loose bound."""
+    workload = sample_ctp_workload(kg, scale=0.03, seed=11)
+    algo = QGSTPApproximation()
+    for seed_sets in workload:
+        results = algo.run(kg, seed_sets)
+        optimum = dpbf_optimal_tree(kg, seed_sets, timeout=10.0)
+        if optimum is None:
+            assert len(results) == 0
+            continue
+        assert len(results) == 1
+        m = len(seed_sets)
+        assert results.results[0].weight <= m * max(optimum.weight, 1.0) + 1e-9
+
+
+def test_disconnected_no_result():
+    g = Graph()
+    a = g.add_node("a")
+    b = g.add_node("b")
+    results = QGSTPApproximation().run(g, [[a], [b]])
+    assert len(results) == 0
+
+
+def test_deterministic(kg):
+    workload = sample_ctp_workload(kg, scale=0.02, seed=2)
+    algo = QGSTPApproximation()
+    first = [algo.run(kg, s).edge_sets() for s in workload]
+    second = [algo.run(kg, s).edge_sets() for s in workload]
+    assert first == second
+
+
+def test_uni_result_is_arborescence():
+    # r -> a, r -> m -> b : under UNI the solution must be directed
+    g = Graph()
+    r, a, m, b = (g.add_node(x) for x in "ramb")
+    g.add_edge(r, a)
+    g.add_edge(r, m)
+    g.add_edge(m, b)
+    results = QGSTPApproximation().run(g, [[a], [b]], SearchConfig(uni=True))
+    assert len(results) == 1
+    result = results.results[0]
+    in_deg = {n: 0 for n in result.nodes}
+    for e in result.edges:
+        in_deg[g.edge(e).target] += 1
+    assert sum(1 for d in in_deg.values() if d == 0) == 1
+
+
+def test_uni_infeasible():
+    g = Graph()
+    a, x, b = g.add_node("a"), g.add_node("x"), g.add_node("b")
+    g.add_edge(a, x)
+    g.add_edge(b, x)
+    results = QGSTPApproximation().run(g, [[a], [b]], SearchConfig(uni=True))
+    assert len(results) == 0
+
+
+def test_wildcard_rejected():
+    g = Graph()
+    a = g.add_node("a")
+    with pytest.raises(SearchError):
+        QGSTPApproximation().run(g, [[a], WILDCARD])

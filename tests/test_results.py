@@ -1,0 +1,113 @@
+"""Tests for CTP result types and the Definition 2.8 validator."""
+
+import pytest
+
+from repro.ctp.results import (
+    CTPResultSet,
+    ResultTree,
+    is_tree,
+    tree_leaves,
+    validate_result,
+)
+from repro.ctp.stats import SearchStats
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def path_graph():
+    g = Graph()
+    a, x, b, dead = (g.add_node(n) for n in ("a", "x", "b", "dead"))
+    g.add_edge(a, x, "e")  # 0
+    g.add_edge(x, b, "e")  # 1
+    g.add_edge(x, dead, "e")  # 2
+    g.add_edge(a, b, "d")  # 3 (makes a cycle with 0,1)
+    return g
+
+
+class TestTreePredicates:
+    def test_is_tree_true(self, path_graph):
+        assert is_tree(path_graph, frozenset({0, 1}))
+        assert is_tree(path_graph, frozenset())
+
+    def test_is_tree_cycle(self, path_graph):
+        assert not is_tree(path_graph, frozenset({0, 1, 3}))
+
+    def test_is_tree_disconnected(self, path_graph):
+        g = path_graph
+        extra = g.add_node("z")
+        extra2 = g.add_node("z2")
+        edge = g.add_edge(extra, extra2, "e")
+        assert not is_tree(g, frozenset({0, edge}))
+
+    def test_tree_leaves(self, path_graph):
+        assert sorted(tree_leaves(path_graph, frozenset({0, 1, 2}))) == [0, 2, 3]
+
+
+class TestValidateResult:
+    def test_valid(self, path_graph):
+        result = ResultTree(frozenset({0, 1}), frozenset({0, 1, 2}), (0, 2))
+        assert validate_result(path_graph, result, [[0], [2]]) == []
+
+    def test_not_a_tree(self, path_graph):
+        result = ResultTree(frozenset({0, 1, 3}), frozenset({0, 1, 2}), (0, 2))
+        problems = validate_result(path_graph, result, [[0], [2]])
+        assert problems == ["edge set is not a tree"]
+
+    def test_non_seed_leaf(self, path_graph):
+        result = ResultTree(frozenset({0, 1, 2}), frozenset({0, 1, 2, 3}), (0, 2))
+        problems = validate_result(path_graph, result, [[0], [2]])
+        assert any("not minimal" in p for p in problems)
+
+    def test_two_seeds_same_set(self, path_graph):
+        result = ResultTree(frozenset({0, 1}), frozenset({0, 1, 2}), (0, 2))
+        problems = validate_result(path_graph, result, [[0], [1, 2]])
+        assert any("expected exactly 1" in p for p in problems)
+
+    def test_wrong_recorded_seed(self, path_graph):
+        result = ResultTree(frozenset({0, 1}), frozenset({0, 1, 2}), (0, 1))
+        problems = validate_result(path_graph, result, [[0], [2]])
+        assert any("recorded seed" in p for p in problems)
+
+    def test_wildcard_allows_one_non_seed_leaf(self, path_graph):
+        # path a - x with x a non-seed leaf bound to the wildcard set
+        result = ResultTree(frozenset({0}), frozenset({0, 1}), (0, 1))
+        assert validate_result(path_graph, result, [[0], []], wildcard_positions=[1]) == []
+
+
+class TestResultSetHelpers:
+    def _set(self, results):
+        return CTPResultSet(results=results, stats=SearchStats(), complete=True)
+
+    def test_edge_sets(self):
+        r1 = ResultTree(frozenset({1}), frozenset({0, 1}), (0,))
+        r2 = ResultTree(frozenset({2}), frozenset({0, 2}), (0,))
+        assert self._set([r1, r2]).edge_sets() == frozenset({frozenset({1}), frozenset({2})})
+
+    def test_best_by_score(self):
+        r1 = ResultTree(frozenset({1}), frozenset({0, 1}), (0,), score=0.5)
+        r2 = ResultTree(frozenset({2}), frozenset({0, 2}), (0,), score=0.9)
+        assert self._set([r1, r2]).best() is r2
+
+    def test_best_unscored_falls_back_to_smallest(self):
+        r1 = ResultTree(frozenset({1, 2}), frozenset({0, 1, 2}), (0,))
+        r2 = ResultTree(frozenset({3}), frozenset({0, 3}), (0,))
+        assert self._set([r1, r2]).best() is r2
+
+    def test_best_empty(self):
+        assert self._set([]).best() is None
+
+    def test_sorted_by_score(self):
+        r1 = ResultTree(frozenset({1}), frozenset({0, 1}), (0,), score=0.5)
+        r2 = ResultTree(frozenset({2}), frozenset({0, 2}), (0,), score=0.9)
+        assert self._set([r1, r2]).sorted_by_score()[0] is r2
+
+    def test_describe(self, path_graph):
+        result = ResultTree(frozenset({0}), frozenset({0, 1}), (0, None))
+        text = result.describe(path_graph)
+        assert "a" in text and "*" in text
+
+    def test_len_and_iter(self):
+        r1 = ResultTree(frozenset({1}), frozenset({0, 1}), (0,))
+        result_set = self._set([r1])
+        assert len(result_set) == 1
+        assert list(result_set) == [r1]

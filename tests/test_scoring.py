@@ -1,0 +1,106 @@
+"""Tests for score functions (requirement R2)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.datasets import figure1, figure1_edge
+from repro.query.scoring import (
+    SCORE_FUNCTIONS,
+    get_score_function,
+    hub_penalty_score,
+    label_diversity_score,
+    register_score_function,
+    size_score,
+    specificity_score,
+    weight_score,
+)
+
+
+@pytest.fixture
+def fig1():
+    return figure1()
+
+
+def _tree(graph, paper_edge_numbers):
+    edges = frozenset(figure1_edge(k) for k in paper_edge_numbers)
+    nodes = set()
+    for edge_id in edges:
+        edge = graph.edge(edge_id)
+        nodes.add(edge.source)
+        nodes.add(edge.target)
+    return edges, frozenset(nodes)
+
+
+def test_size_score_prefers_smaller(fig1):
+    t_alpha = _tree(fig1, (10, 9, 11))
+    t_beta = _tree(fig1, (1, 2, 17, 16))
+    assert size_score(fig1, *t_alpha) > size_score(fig1, *t_beta)
+
+
+def test_size_score_single_node(fig1):
+    assert size_score(fig1, frozenset(), frozenset({0})) == 1.0
+
+
+def test_weight_score_uses_edge_weights():
+    from repro.graph.graph import Graph
+
+    g = Graph()
+    a, b = g.add_node("a"), g.add_node("b")
+    light = g.add_edge(a, b, "x", weight=1.0)
+    heavy = g.add_edge(a, b, "y", weight=10.0)
+    assert weight_score(g, frozenset({light}), frozenset({a, b})) > weight_score(
+        g, frozenset({heavy}), frozenset({a, b})
+    )
+
+
+def test_label_diversity(fig1):
+    diverse = _tree(fig1, (1, 2, 17, 16))  # founded, investsIn, funds, affiliation
+    uniform = _tree(fig1, (5, 6))  # two citizenOf edges
+    assert label_diversity_score(fig1, *diverse) == 1.0
+    assert label_diversity_score(fig1, *uniform) == 0.5
+
+
+def test_label_diversity_empty(fig1):
+    assert label_diversity_score(fig1, frozenset(), frozenset({0})) == 0.0
+
+
+def test_hub_penalty_decreases_with_degree(fig1):
+    # going through the high-degree NLP/OrgC nodes scores lower than a
+    # two-leaf tree of low-degree nodes of same size
+    through_hub = _tree(fig1, (16, 18))  # via National Liberal Party
+    small = _tree(fig1, (3,))
+    assert hub_penalty_score(fig1, *small) > hub_penalty_score(fig1, *through_hub)
+
+
+def test_specificity_is_blend(fig1):
+    tree = _tree(fig1, (10, 9, 11))
+    value = specificity_score(fig1, *tree)
+    assert 0.0 < value <= 1.0
+
+
+def test_registry_contains_builtins():
+    for name in ("size", "weight", "diversity", "hub_penalty", "specificity"):
+        assert name in SCORE_FUNCTIONS
+        assert get_score_function(name) is SCORE_FUNCTIONS[name]
+
+
+def test_unknown_score_raises():
+    with pytest.raises(QueryError):
+        get_score_function("nope")
+
+
+def test_register_custom_score(fig1):
+    def always_42(graph, edges, nodes):
+        return 42.0
+
+    register_score_function("answer", always_42)
+    try:
+        assert get_score_function("answer") is always_42
+    finally:
+        SCORE_FUNCTIONS.pop("answer")
+
+
+def test_scores_monotone_in_size(fig1):
+    one = _tree(fig1, (1,))
+    two = _tree(fig1, (1, 17))
+    assert size_score(fig1, *one) > size_score(fig1, *two) > 0

@@ -1,0 +1,125 @@
+"""Tests for path stitching (the strategy Section 2 argues against)."""
+
+import pytest
+
+from repro.baselines.path_engines import AllPathsEngine
+from repro.baselines.stitching import stitch_paths
+from repro.ctp.molesp import MoLESPSearch
+from repro.graph.graph import Graph
+from repro.workloads.cdf import cdf_graph
+
+
+@pytest.fixture
+def y_graph():
+    """r -> s2 and r -> s3 arms, plus a second route r -> x -> s2."""
+    g = Graph()
+    r, s2, s3, x = (g.add_node(n) for n in ("r", "s2", "s3", "x"))
+    g.add_edge(r, s2, "a")
+    g.add_edge(r, s3, "b")
+    g.add_edge(r, x, "c")
+    g.add_edge(x, s2, "d")
+    return g, r, s2, s3
+
+
+def test_stitch_produces_trees(y_graph):
+    g, r, s2, s3 = y_graph
+    engine = AllPathsEngine(undirected=False)
+    paths_a = engine.run(g, [r], [s2]).paths
+    paths_b = engine.run(g, [r], [s3]).paths
+    report = stitch_paths(g, paths_a, paths_b)
+    assert len(report.trees) == 2  # direct Y and via-x Y
+    assert report.joins_attempted == 2
+    assert report.non_tree_joins == 0
+
+
+def test_stitch_rejects_overlapping_paths():
+    """Joined paths sharing a node beyond the root are not trees (Section 2)."""
+    g = Graph()
+    r, x, s2, s3 = (g.add_node(n) for n in ("r", "x", "s2", "s3"))
+    g.add_edge(r, x, "a")
+    g.add_edge(x, s2, "b")
+    g.add_edge(x, s3, "c")
+    engine = AllPathsEngine(undirected=False)
+    paths_a = engine.run(g, [r], [s2]).paths
+    paths_b = engine.run(g, [r], [s3]).paths
+    report = stitch_paths(g, paths_a, paths_b)
+    # both paths pass through x: their union is a tree only by accident of
+    # edge sets — here they share node x, so the join must be rejected
+    assert report.non_tree_joins == 1
+    assert len(report.trees) == 0
+
+
+def test_stitch_counts_duplicates():
+    """The same edge set reached via different join orders is a duplicate."""
+    g = Graph()
+    r, s2 = g.add_node("r"), g.add_node("s2")
+    g.add_edge(r, s2, "a")
+    paths = {(r, s2): [(0,)]}
+    # stitch the collection with itself: r->s2 joined with r->s2 shares s2
+    report = stitch_paths(g, paths, paths)
+    assert report.joins_attempted == 1
+    assert report.non_tree_joins == 1  # identical paths share both nodes
+
+
+def test_stitch_differs_from_ctp_semantics_on_cdf():
+    """Section 2's core argument: stitching seed-rooted paths is NOT CTP
+    evaluation.  On CDF m=3 graphs, joining the ``tl -> bl1`` and
+    ``tl -> bl2`` path sets (the only stitch a path engine can do):
+
+    * **misses** every Y-link result — its two branch paths share the stem,
+      so their union is rejected as a non-tree;
+    * **fabricates** trees that pair branches of *different* Y-links of the
+      same top leaf, which are not minimal CTP results for the Y semantics.
+    """
+    dataset = cdf_graph(6, 10, 3, m=3, seed=4)
+    g = dataset.graph
+    sources = sorted({g.edge(e).target for e in g.edges_with_label("c")})
+    targets_g = sorted({g.edge(e).target for e in g.edges_with_label("g")})
+    targets_h = sorted({g.edge(e).target for e in g.edges_with_label("h")})
+    engine = AllPathsEngine(undirected=False, labels=("link",))
+    paths_g = engine.run(g, sources, targets_g).paths
+    paths_h = engine.run(g, sources, targets_h).paths
+    stitched = stitch_paths(g, paths_g, paths_h)
+    from repro.ctp.config import SearchConfig
+
+    ctp = MoLESPSearch().run(g, [sources, targets_g, targets_h], SearchConfig(uni=True))
+    ctp_link_trees = {
+        r.edges for r in ctp if all(g.edge(e).label == "link" for e in r.edges)
+    }
+    # Every single-Y result (the 3-edge link trees) is missed by the
+    # stitch: its two branch paths share the stem, so the join is rejected.
+    y_trees = {r.edges for r in ctp if r.size == 3}
+    assert y_trees  # the expected N_L answers exist
+    assert y_trees <= ctp_link_trees
+    assert not (y_trees & stitched.trees)
+    assert stitched.non_tree_joins >= len(y_trees)
+    # What the stitch does produce (cross-link trees rooted at a shared top
+    # leaf) are themselves valid CTP results — a strict subset of them.
+    assert stitched.trees < ctp_link_trees
+
+
+def test_wasted_fraction():
+    g = Graph()
+    r, s2 = g.add_node("r"), g.add_node("s2")
+    g.add_edge(r, s2, "a")
+    paths = {(r, s2): [(0,)]}
+    report = stitch_paths(g, paths, paths)
+    assert report.wasted_fraction == 1.0
+    empty = stitch_paths(g, {}, {})
+    assert empty.wasted_fraction == 0.0
+
+
+def test_max_joins_truncates():
+    g = Graph()
+    r = g.add_node("r")
+    lefts = [g.add_node(f"l{i}") for i in range(5)]
+    rights = [g.add_node(f"r{i}") for i in range(5)]
+    paths_a = {(r, left): [(g.add_edge(r, left, "a"),)] for left in lefts}
+    paths_b = {(r, right): [(g.add_edge(r, right, "b"),)] for right in rights}
+    full = stitch_paths(g, paths_a, paths_b)
+    assert full.joins_attempted == 25
+    assert not full.truncated
+    capped = stitch_paths(g, paths_a, paths_b, max_joins=7)
+    assert capped.truncated
+    assert capped.joins_attempted == 7
+    assert len(capped.trees) <= 7

@@ -1,0 +1,62 @@
+"""Tests for the triple-table view (the paper's PostgreSQL storage model)."""
+
+import pytest
+
+from repro.graph.datasets import figure1
+from repro.storage.triple_store import TRIPLE_COLUMNS, TripleStore
+
+
+@pytest.fixture
+def store() -> TripleStore:
+    return TripleStore(figure1())
+
+
+def test_full_table(store):
+    assert len(store) == 19
+    assert store.table.columns == TRIPLE_COLUMNS
+
+
+def test_scan_unbound_returns_all(store):
+    assert len(store.scan()) == 19
+
+
+def test_scan_by_label(store):
+    citizen = store.scan(label="citizenOf")
+    assert len(citizen) == 5
+    assert all(store.graph.edge(e).label == "citizenOf" for e in citizen)
+
+
+def test_scan_by_source(store):
+    bob = store.graph.find_node_by_label("Bob")
+    edges = store.scan(source=bob)
+    assert {store.graph.edge(e).label for e in edges} == {"founded", "citizenOf"}
+
+
+def test_scan_by_target(store):
+    usa = store.graph.find_node_by_label("USA")
+    edges = store.scan(target=usa)
+    assert len(edges) == 3  # Bob, Carole citizenships + OrgC locatedIn
+
+
+def test_scan_combined(store):
+    bob = store.graph.find_node_by_label("Bob")
+    usa = store.graph.find_node_by_label("USA")
+    edges = store.scan(source=bob, label="citizenOf", target=usa)
+    assert len(edges) == 1
+
+
+def test_scan_no_match(store):
+    assert store.scan(label="ghost") == []
+
+
+def test_triples_table(store):
+    table = store.triples(label="founded")
+    assert table.columns == TRIPLE_COLUMNS
+    assert len(table) == 3
+
+
+def test_estimated_count_uses_cheapest_path(store):
+    bob = store.graph.find_node_by_label("Bob")
+    assert store.estimated_count() == 19
+    assert store.estimated_count(source=bob) == 2
+    assert store.estimated_count(source=bob, label="citizenOf") == 2

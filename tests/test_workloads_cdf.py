@@ -1,0 +1,102 @@
+"""Structure and semantics checks for CDF graphs (Figure 9, Section 5.3)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.query.evaluator import evaluate_query
+from repro.workloads.cdf import cdf_graph, cdf_query
+
+
+class TestStructureM2:
+    def test_edge_count_formula(self):
+        """A CDF has 12*N_T + N_L*S_L edges (Section 5.3)."""
+        for n_t, n_l, s_l in ((5, 10, 3), (8, 16, 6)):
+            dataset = cdf_graph(n_t, n_l, s_l, m=2, seed=0)
+            assert dataset.graph.num_edges == 12 * n_t + n_l * s_l
+
+    def test_node_count_formula(self):
+        """14*N_T + N_L*(S_L - 1) nodes for m=2 (Section 5.3)."""
+        for n_t, n_l, s_l in ((5, 10, 3), (8, 16, 6)):
+            dataset = cdf_graph(n_t, n_l, s_l, m=2, seed=0)
+            assert dataset.graph.num_nodes == 14 * n_t + n_l * (s_l - 1)
+
+    def test_eligibility_rules(self):
+        dataset = cdf_graph(6, 12, 3, m=2, seed=1)
+        g = dataset.graph
+        c_targets = {g.edge(e).target for e in g.edges_with_label("c")}
+        g_targets = {g.edge(e).target for e in g.edges_with_label("g")}
+        # 50% of c-targets / g-targets participate: one per tree
+        assert len(dataset.eligible_top) == 6
+        assert set(dataset.eligible_top) <= c_targets
+        assert len(dataset.eligible_bottom) == 6
+        assert set(dataset.eligible_bottom) <= g_targets
+
+    def test_links_connect_eligible_leaves(self):
+        dataset = cdf_graph(4, 8, 4, m=2, seed=2)
+        for top, bottom in dataset.links:
+            assert top in dataset.eligible_top
+            assert bottom in dataset.eligible_bottom
+
+    def test_deterministic_by_seed(self):
+        a = cdf_graph(4, 8, 3, m=2, seed=7)
+        b = cdf_graph(4, 8, 3, m=2, seed=7)
+        assert a.links == b.links
+
+
+class TestStructureM3:
+    def test_edge_count(self):
+        """Y links contribute S_L edges each (stem + two branches)."""
+        dataset = cdf_graph(4, 6, 4, m=3, seed=0)
+        assert dataset.graph.num_edges == 12 * 4 + 6 * 4
+
+    def test_y_links_use_sibling_pairs(self):
+        dataset = cdf_graph(5, 10, 3, m=3, seed=3)
+        g = dataset.graph
+        for top, bottom1, bottom2 in dataset.links:
+            # bl1 is a g-target, bl2 the h-target of the same mid node
+            (g_edge,) = [e for e in g.edges_with_label("g") if g.edge(e).target == bottom1]
+            (h_edge,) = [e for e in g.edges_with_label("h") if g.edge(e).target == bottom2]
+            assert g.edge(g_edge).source == g.edge(h_edge).source
+
+    def test_minimum_link_length(self):
+        with pytest.raises(WorkloadError):
+            cdf_graph(3, 3, 2, m=3)
+
+
+class TestQueries:
+    def test_m2_query_has_nl_answers(self):
+        """'Each CDF query has N_L answers, one for each link.'"""
+        dataset = cdf_graph(6, 12, 3, m=2, seed=5)
+        result = evaluate_query(dataset.graph, dataset.query(), default_timeout=30.0)
+        assert len(result) == dataset.expected_results
+
+    def test_m2_answers_match_links(self):
+        dataset = cdf_graph(5, 8, 4, m=2, seed=6)
+        result = evaluate_query(dataset.graph, dataset.query(), default_timeout=30.0)
+        answered = {(row[1], ) for row in result.rows}  # tl column
+        expected_tops = {(top,) for top, _ in dataset.links}
+        assert answered == expected_tops or len(result) == dataset.expected_results
+
+    def test_m3_bidirectional_finds_extra_ctp_results(self):
+        """Section 5.5.1: bidirectional MoLESP finds several times more CTP
+        results than N_L (grandparent connections), partially filtered by
+        the BGP join."""
+        dataset = cdf_graph(8, 12, 3, m=3, seed=7)
+        result = evaluate_query(dataset.graph, dataset.query(), default_timeout=30.0)
+        ctp_count = len(result.ctp_reports[0].result_set)
+        assert ctp_count > 3 * dataset.expected_results
+        assert len(result) >= dataset.expected_results
+        assert len(result) < ctp_count
+
+    def test_m3_uni_query_exact_links(self):
+        """Under UNI only the Y-link arborescences survive."""
+        dataset = cdf_graph(6, 9, 3, m=3, seed=8)
+        query = cdf_query(3, "UNI")
+        result = evaluate_query(dataset.graph, query, default_timeout=30.0)
+        assert len(result) == dataset.expected_results
+
+    def test_invalid_m(self):
+        with pytest.raises(WorkloadError):
+            cdf_graph(3, 3, 3, m=4)
+        with pytest.raises(WorkloadError):
+            cdf_query(5)

@@ -1,0 +1,114 @@
+"""Structure checks for the Line / Comb / Star / chain generators (Fig 8/2)."""
+
+import pytest
+
+from repro.ctp.molesp import MoLESPSearch
+from repro.errors import WorkloadError
+from repro.workloads.synthetic import chain_graph, comb_graph, line_graph, star_graph
+
+
+class TestLine:
+    def test_counts(self):
+        graph, seeds = line_graph(4, 2)
+        # 4 seeds + 3 segments * 2 intermediates
+        assert graph.num_nodes == 4 + 3 * 2
+        assert graph.num_edges == 3 * 3  # s_L = n_L + 1 edges per segment
+        assert len(seeds) == 4
+
+    def test_seed_distance(self):
+        graph, seeds = line_graph(2, 3)
+        assert graph.num_edges == 4
+
+    def test_endpoints_are_seeds(self):
+        graph, seeds = line_graph(3, 1)
+        degrees = {n: graph.degree(n) for n in graph.node_ids()}
+        leaf_nodes = {n for n, d in degrees.items() if d == 1}
+        assert leaf_nodes == {seeds[0][0], seeds[-1][0]}
+
+    def test_unique_result(self):
+        graph, seeds = line_graph(4, 1)
+        results = MoLESPSearch().run(graph, seeds)
+        assert len(results) == 1
+        assert results.results[0].size == graph.num_edges
+
+    def test_bad_params(self):
+        with pytest.raises(WorkloadError):
+            line_graph(1, 1)
+        with pytest.raises(WorkloadError):
+            line_graph(3, -1)
+
+
+class TestComb:
+    def test_seed_count_formula(self):
+        """m = n_A * (n_S + 1) (Section 5.3)."""
+        for n_a, n_s in ((2, 1), (3, 2), (4, 2)):
+            _, seeds = comb_graph(n_a, n_s, 2)
+            assert len(seeds) == n_a * (n_s + 1)
+
+    def test_figure8_comb_shape(self):
+        """Comb(3, 1, 2): 3 anchors, one 2-edge bristle segment each."""
+        graph, seeds = comb_graph(3, 1, 2)
+        assert len(seeds) == 6
+        # anchors have degree: main line (1 or 2) + bristle (1)
+        anchor_ids = [s[0] for s in seeds[:1]]
+        assert graph.degree(anchor_ids[0]) == 2  # first anchor: line + bristle
+
+    def test_default_dba(self):
+        graph_default, _ = comb_graph(2, 1, 3)
+        graph_explicit, _ = comb_graph(2, 1, 3, d_ba=2)
+        assert graph_default.num_edges == graph_explicit.num_edges
+
+    def test_unique_result_spans_everything(self):
+        graph, seeds = comb_graph(2, 1, 2)
+        results = MoLESPSearch().run(graph, seeds)
+        assert len(results) == 1
+
+    def test_bad_params(self):
+        with pytest.raises(WorkloadError):
+            comb_graph(0, 1, 2)
+        with pytest.raises(WorkloadError):
+            comb_graph(2, 1, 0)
+
+
+class TestStar:
+    def test_counts(self):
+        graph, seeds = star_graph(5, 3)
+        assert len(seeds) == 5
+        assert graph.num_edges == 5 * 3
+        assert graph.num_nodes == 1 + 5 * 3
+
+    def test_center_degree(self):
+        graph, _ = star_graph(6, 2)
+        center_degrees = [graph.degree(n) for n in graph.node_ids()]
+        assert max(center_degrees) == 6
+
+    def test_result_is_rooted_merge(self):
+        graph, seeds = star_graph(4, 2)
+        results = MoLESPSearch().run(graph, seeds)
+        assert len(results) == 1
+        assert results.results[0].size == 8
+
+    def test_bad_params(self):
+        with pytest.raises(WorkloadError):
+            star_graph(1, 2)
+
+
+class TestChain:
+    def test_counts(self):
+        graph, seeds = chain_graph(5)
+        assert graph.num_nodes == 6
+        assert graph.num_edges == 10  # two parallel edges per segment
+        assert len(seeds) == 2
+
+    def test_exponential_results(self):
+        for n in (1, 3, 6):
+            graph, seeds = chain_graph(n)
+            assert len(MoLESPSearch().run(graph, seeds)) == 2**n
+
+    def test_labels_alternate(self):
+        graph, _ = chain_graph(2, labels=("p", "q"))
+        assert set(graph.edge_labels()) == {"p", "q"}
+
+    def test_bad_params(self):
+        with pytest.raises(WorkloadError):
+            chain_graph(0)
