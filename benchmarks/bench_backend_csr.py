@@ -1,0 +1,93 @@
+"""Micro-benchmarks: dict backend vs the CSR backend (``Graph.freeze()``).
+
+Run with ``pytest benchmarks/bench_backend_csr.py`` (pytest-benchmark
+groups the dict/csr variants of each operation together).  The same
+comparison, reported paper-style and wired into ``repro.bench``, lives in
+``python -m repro.bench backend``.
+
+The operations are the neighbor-expansion-heavy loops the backends exist
+for: undirected BFS sweeps, label-constrained reachability (the
+check-only path-engine regime), and end-to-end MoLESP.
+"""
+
+import pytest
+
+from repro.baselines.path_engines import CheckOnlyPathEngine
+from repro.ctp.config import SearchConfig
+from repro.ctp.molesp import MoLESPSearch
+from repro.graph.backend import resolve_backend
+from repro.graph.traversal import bfs_distances
+from repro.workloads.cdf import cdf_graph
+from repro.workloads.synthetic import chain_graph, star_graph
+
+BACKENDS = ("dict", "csr")
+
+
+@pytest.fixture(scope="module")
+def community():
+    return cdf_graph(num_trees=30, num_links=60, link_length=3, m=2, seed=7).graph
+
+
+@pytest.fixture(scope="module")
+def star():
+    return star_graph(6, 3)
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return chain_graph(10)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bfs_sweep(benchmark, community, backend):
+    graph = resolve_backend(community, backend)
+
+    def run():
+        total = 0
+        for node in range(0, graph.num_nodes, 7):
+            total += len(bfs_distances(graph, [node]))
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_labeled_reachability(benchmark, community, backend):
+    graph = resolve_backend(community, backend)
+    labels = sorted(graph.edge_labels())[:2]
+    engine = CheckOnlyPathEngine(uni=False, labels=labels)
+    sources = list(range(0, graph.num_nodes, 20))
+    targets = list(range(5, graph.num_nodes, 20))
+
+    def run():
+        return engine.run(graph, sources, targets)
+
+    report = benchmark(run)
+    assert not report.timed_out
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_molesp_star(benchmark, star, backend):
+    graph, seeds = star
+    algorithm = MoLESPSearch()
+    config = SearchConfig(backend=backend)
+
+    def run():
+        return algorithm.run(graph, seeds, config)
+
+    results = benchmark(run)
+    assert results.complete
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_molesp_chain(benchmark, chain, backend):
+    graph, seeds = chain
+    algorithm = MoLESPSearch()
+    config = SearchConfig(backend=backend)
+
+    def run():
+        return algorithm.run(graph, seeds, config)
+
+    results = benchmark(run)
+    assert len(results) == 2**10

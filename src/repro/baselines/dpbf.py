@@ -93,7 +93,7 @@ def dpbf_optimal_tree(
                 # The DP root must *reach* the seeds: grow against edge
                 # direction so paths run root -> ... -> seed.
                 continue
-            edge_weight = graph.edge(edge_id).weight
+            edge_weight = graph.edge_weight(edge_id)
             other_state = (other, mask | seed_mask.get(other, 0))
             new_cost = cost + edge_weight
             if new_cost < best.get(other_state, float("inf")):
@@ -129,7 +129,7 @@ def dpbf_optimal_tree(
         for bit in range(m):
             if node_mask & (1 << bit) and seeds[bit] is None:
                 seeds[bit] = node
-    weight = sum(graph.edge(e).weight for e in edges)
+    weight = sum(graph.edge_weight(e) for e in edges)
     return ResultTree(edges=frozenset(edges), nodes=frozenset(nodes), seeds=tuple(seeds), weight=weight)
 
 

@@ -104,10 +104,8 @@ class CheckOnlyPathEngine:
             node, hops = queue.popleft()
             if max_hops is not None and hops >= max_hops:
                 continue
-            for edge_id, other, outgoing in graph.adjacent(node):
+            for edge_id, other, outgoing in graph.adjacent_filtered(node, labels):
                 if self.uni and not outgoing:
-                    continue
-                if labels is not None and graph.edge(edge_id).label not in labels:
                     continue
                 if other in seen:
                     continue
@@ -228,17 +226,14 @@ class AllPathsEngine:
                     continue
             if max_hops is not None and len(path) >= max_hops:
                 continue
-            for edge_id, other, outgoing in graph.adjacent(node):
+            for edge_id, other, outgoing in graph.adjacent_filtered(node, labels):
                 if not self.undirected and not outgoing:
                     continue
                 if other in visited:
                     continue
-                edge = graph.edge(edge_id)
-                if labels is not None and edge.label not in labels:
-                    continue
                 # the CTE working table stores the accumulated label path
                 # for every row it materializes
-                row = f"{label_row}/{edge.label}" if materialize else label_row
+                row = f"{label_row}/{graph.edge_label(edge_id)}" if materialize else label_row
                 stack.append((other, path + (edge_id,), visited | {other}, row))
 
 

@@ -143,7 +143,7 @@ class QGSTPApproximation:
                 # at `node` (i.e. not outgoing) under UNI.
                 if uni and outgoing:
                     continue
-                weight = graph.edge(edge_id).weight
+                weight = graph.edge_weight(edge_id)
                 new_d = d + weight
                 if new_d < dist.get(other, _INF):
                     dist[other] = new_d
@@ -191,7 +191,7 @@ class QGSTPApproximation:
         # strip non-seed leaves
         seed_nodes_all = {s for seeds in seed_sets for s in seeds}
         edges_f, nodes_f = _strip_leaves(graph, edges_f, nodes_f, seed_nodes_all | {root})
-        weight = sum(graph.edge(e).weight for e in edges_f)
+        weight = sum(graph.edge_weight(e) for e in edges_f)
         return ResultTree(
             edges=frozenset(edges_f),
             nodes=frozenset(nodes_f),

@@ -12,6 +12,7 @@ from repro.bench.experiments import (
     fig12_qgstp,
     fig13_cdf_m2,
     fig14_cdf_m3,
+    micro_backend,
     table1_yago,
 )
 from repro.bench.harness import ExperimentReport
@@ -27,6 +28,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "fig14": fig14_cdf_m3.run,
     "table1": table1_yago.run,
     "abl01": abl01_design.run,
+    "backend": micro_backend.run,
 }
 
 

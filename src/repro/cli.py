@@ -15,6 +15,7 @@ import sys
 from typing import List, Optional
 
 from repro.bench.cli import main as bench_main
+from repro.ctp.config import SearchConfig
 from repro.errors import ReproError
 from repro.graph.datasets import figure1
 from repro.graph.io import load_graph_json, load_graph_tsv
@@ -34,6 +35,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         graph,
         args.query,
         algorithm=args.algorithm,
+        base_config=SearchConfig(backend=args.backend),
         default_timeout=args.timeout,
     )
     print(result.format(limit=args.rows))
@@ -87,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("query", help="EQL text (SELECT ... WHERE { ... })")
     query.add_argument("--graph", help="TSV triples or JSON graph file (default: the Figure 1 demo graph)")
     query.add_argument("--algorithm", default="molesp", help="CTP algorithm (default molesp)")
+    query.add_argument(
+        "--backend",
+        choices=("auto", "dict", "csr"),
+        default="auto",
+        help="graph storage backend for the search (csr = frozen compressed-sparse-row)",
+    )
     query.add_argument("--timeout", type=float, default=30.0, help="per-CTP timeout in seconds")
     query.add_argument("--rows", type=int, default=25, help="max rows to display")
     query.set_defaults(handler=_cmd_query)

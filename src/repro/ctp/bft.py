@@ -24,6 +24,7 @@ from repro.ctp.engine import _StopSearch, normalize_seed_sets
 from repro.ctp.results import CTPResultSet, ResultTree
 from repro.ctp.stats import SearchStats
 from repro.errors import SearchError
+from repro.graph.backend import resolve_backend
 from repro.graph.graph import Graph
 
 
@@ -70,7 +71,7 @@ class BFTAMSearch(BFTSearch):
 
 class _BFTRun:
     def __init__(self, graph: Graph, seed_sets: Sequence, config: SearchConfig, algo: BFTSearch):
-        self.graph = graph
+        self.graph = graph = resolve_backend(graph, config.backend)
         self.config = config
         self.algo = algo
         self.stats = SearchStats()
@@ -131,20 +132,17 @@ class _BFTRun:
             if max_edges is not None and len(tree.edges) + 1 > max_edges:
                 continue
             for node in tree.nodes:
-                for edge_id, other, _ in graph.adjacent(node):
+                for edge_id, other, _ in graph.adjacent_filtered(node, labels):
                     if other in tree.nodes:  # Grow1
                         continue
                     other_mask = seed_mask.get(other, 0)
                     if other_mask & tree.sat:  # Grow2
                         continue
-                    edge = graph.edge(edge_id)
-                    if labels is not None and edge.label not in labels:
-                        continue
                     grown = _BFTTree(
                         tree.edges | {edge_id},
                         tree.nodes | {other},
                         tree.sat | other_mask,
-                        tree.weight + edge.weight,
+                        tree.weight + graph.edge_weight(edge_id),
                     )
                     self.stats.grows += 1
                     self._process(grown, allow_merge=self.algo.merge_mode != "none")
@@ -265,7 +263,7 @@ class _BFTRun:
                 candidates.append(other)
         edges = frozenset(e for e in tree.edges if e not in removed_edges)
         nodes = frozenset(n for n in tree.nodes if n not in removed_nodes)
-        weight = sum(graph.edge(e).weight for e in edges)
+        weight = sum(graph.edge_weight(e) for e in edges)
         return edges, nodes, weight
 
     def _is_arborescence(self, edges: FrozenSet[int], nodes: FrozenSet[int]) -> bool:

@@ -67,6 +67,12 @@ class SearchConfig:
     max_trees:
         Memory safety valve: abort (returning partial results) after this
         many retained trees.
+    backend:
+        Graph storage backend the search should run against
+        (:mod:`repro.graph.backend`): ``"dict"`` uses the graph exactly as
+        passed, ``"csr"`` freezes it into the compressed-sparse-row
+        representation first (memoized per graph), ``"auto"`` (default)
+        keeps whichever representation the caller provided.
     strict_merge2 (ablation):
         Use the *literal* Merge2 of Section 4.2 — ``sat(t1) ∩ sat(t2) = ∅``
         — instead of the relaxed reading this library argues for (overlap
@@ -90,6 +96,7 @@ class SearchConfig:
     balanced_queues: Union[bool, str] = "auto"
     balance_ratio: float = 32.0
     max_trees: Optional[int] = None
+    backend: str = "auto"
     strict_merge2: bool = False
     mo_inject_always: bool = False
 
@@ -106,6 +113,8 @@ class SearchConfig:
             raise ValueError(f"unknown order {self.order!r} (use 'size', 'score', or a callable)")
         if self.order == "score" and self.score is None:
             raise ValueError("order='score' requires a score function")
+        if self.backend not in ("auto", "dict", "csr"):
+            raise ValueError(f"unknown backend {self.backend!r} (use 'auto', 'dict', or 'csr')")
         if self.labels is not None:
             object.__setattr__(self, "labels", frozenset(self.labels))
 

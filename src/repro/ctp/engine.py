@@ -48,6 +48,7 @@ from repro.ctp.results import CTPResultSet, ResultTree
 from repro.ctp.stats import SearchStats
 from repro.ctp.tree import SearchTree, make_grow, make_init, make_merge, make_mo
 from repro.errors import SearchError
+from repro.graph.backend import resolve_backend
 from repro.graph.graph import Graph
 
 
@@ -115,7 +116,7 @@ class _GAMRun:
     """State and main loop of a single GAM-family evaluation."""
 
     def __init__(self, graph: Graph, seed_sets: Sequence, config: SearchConfig, algo: GAMFamilySearch):
-        self.graph = graph
+        self.graph = graph = resolve_backend(graph, config.backend)
         self.config = config
         self.algo = algo
         self.stats = SearchStats()
@@ -213,14 +214,13 @@ class _GAMRun:
                 raise _StopSearch(timed_out=True)
             entry = self._pop()
             _, _, tree, edge_id, other, outgoing = entry
-            edge = graph.edge(edge_id)
             grown = make_grow(
                 tree,
                 edge_id,
                 other,
                 seed_mask.get(other, 0),
                 other in seed_mask,
-                edge.weight,
+                graph.edge_weight(edge_id),
                 outgoing,
                 uni,
             )
@@ -258,12 +258,10 @@ class _GAMRun:
         sat = tree.sat
         queue = self.queues.setdefault(self._queue_key(tree), [])
         priority = self.priority(tree)
-        for edge_id, other, outgoing in graph.adjacent(tree.root):
+        for edge_id, other, outgoing in graph.adjacent_filtered(tree.root, labels):
             if other in nodes:  # Grow1
                 continue
             if seed_mask.get(other, 0) & sat:  # Grow2
-                continue
-            if labels is not None and graph.edge(edge_id).label not in labels:
                 continue
             heapq.heappush(queue, (priority, self.counter.next(), tree, edge_id, other, outgoing))
             self.total_queued += 1

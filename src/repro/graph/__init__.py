@@ -7,6 +7,7 @@ adjacency is indexed bidirectionally.
 """
 
 from repro.graph.graph import Edge, Graph, Node
+from repro.graph.backend import CSRGraph, GraphBackend, backend_name, freeze, resolve_backend
 from repro.graph.builder import GraphBuilder, graph_from_triples
 from repro.graph.io import load_graph_json, load_graph_tsv, save_graph_json, save_graph_tsv
 from repro.graph.stats import GraphStats, connected_components, graph_stats
@@ -19,12 +20,17 @@ from repro.graph.traversal import (
 )
 
 __all__ = [
+    "CSRGraph",
     "Edge",
     "Graph",
+    "GraphBackend",
     "GraphBuilder",
     "GraphStats",
     "Node",
+    "backend_name",
     "ball",
+    "freeze",
+    "resolve_backend",
     "bfs_distances",
     "connected_components",
     "dijkstra_distances",

@@ -1,0 +1,360 @@
+"""Pluggable graph backends: the ``GraphBackend`` protocol and CSR storage.
+
+The CTP engines (``repro.ctp``), the traversal utilities and the baseline
+simulators only ever *read* a graph, and they read it through a small
+surface: neighbor iteration, per-edge scalars (weight, label), and the
+label/type indexes.  :class:`GraphBackend` names that surface so any
+storage layout can be swapped in underneath the algorithms.
+
+Two backends ship today:
+
+``dict``
+    :class:`repro.graph.graph.Graph` itself — the mutable, append-only
+    dict/list-of-lists representation used while a graph is being built.
+
+``csr``
+    :class:`CSRGraph` — an immutable compressed-sparse-row snapshot
+    produced by :meth:`Graph.freeze`.  Adjacency lives in flat ``array``
+    offset/target/edge columns (one ``memoryview`` slice per node), edge
+    weights and label ids are parallel scalar columns, and per-label edge
+    indexes plus per-node caches make repeated neighborhood expansion —
+    the hot loop of every algorithm in Section 4 of the paper — cheap.
+
+Select a backend per search via ``SearchConfig(backend="csr")``, on the
+command line via ``--backend``, or explicitly with
+``algorithm.run(graph.freeze(), ...)``; the two backends are drop-in
+interchangeable (see ``tests/test_backend_csr.py`` for the equivalence
+property tests).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.errors import GraphError
+from repro.graph.graph import AdjacencyEntry, Edge, Graph, Node
+
+#: Names accepted by :func:`resolve_backend` / ``SearchConfig.backend``.
+BACKENDS = ("auto", "dict", "csr")
+
+
+@runtime_checkable
+class GraphBackend(Protocol):
+    """The read surface the search algorithms require of a graph.
+
+    ``Graph`` (the mutable dict backend) and :class:`CSRGraph` (the frozen
+    CSR backend) both satisfy this protocol; algorithms must not rely on
+    anything outside it so the backends stay interchangeable.
+    """
+
+    #: Backend identifier ("dict" or "csr").
+    backend: str
+
+    @property
+    def num_nodes(self) -> int: ...
+
+    @property
+    def num_edges(self) -> int: ...
+
+    def node(self, node_id: int) -> Node: ...
+
+    def edge(self, edge_id: int) -> Edge: ...
+
+    def node_ids(self) -> range: ...
+
+    def edge_ids(self) -> range: ...
+
+    def adjacent(self, node_id: int) -> Sequence[AdjacencyEntry]: ...
+
+    def adjacent_filtered(
+        self, node_id: int, labels: Optional[FrozenSet[str]] = None
+    ) -> Sequence[AdjacencyEntry]: ...
+
+    def degree(self, node_id: int) -> int: ...
+
+    def neighbors(self, node_id: int) -> List[int]: ...
+
+    def neighbor_ids(self, node_id: int) -> Sequence[int]: ...
+
+    def edge_weight(self, edge_id: int) -> float: ...
+
+    def edge_label(self, edge_id: int) -> str: ...
+
+    def nodes_with_label(self, label: str) -> List[int]: ...
+
+    def nodes_with_type(self, type_name: str) -> List[int]: ...
+
+    def edges_with_label(self, label: str) -> List[int]: ...
+
+
+class CSRGraph:
+    """An immutable CSR (compressed sparse row) snapshot of a :class:`Graph`.
+
+    Adjacency is stored as three flat parallel columns — incident edge id,
+    other endpoint, outgoing flag — indexed by a per-node offset array, so
+    node ``n``'s neighborhood is the half-open slice
+    ``[offsets[n], offsets[n+1])`` of each column.  Edge weights and label
+    ids are parallel per-edge columns, which lets the engines read the two
+    scalars their hot loops need without materializing :class:`Edge`
+    objects.  Per-node adjacency tuples, distinct-neighbor tuples and
+    label-filtered adjacency are cached on first use: connection search
+    expands the same frontier nodes over and over, so after the first
+    visit an expansion is a single list index.
+
+    Node and edge *objects* (labels, types, properties) are shared with
+    the source graph — CSR accelerates topology, not metadata.  The
+    snapshot is topology-immutable: :meth:`add_node` / :meth:`add_edge`
+    raise :class:`GraphError`; mutate the source graph and call
+    :meth:`Graph.freeze` again instead.
+    """
+
+    backend = "csr"
+    frozen = True
+
+    def __init__(self, source: Graph):
+        self.name = source.name
+        num_nodes = source.num_nodes
+        num_edges = source.num_edges
+        self._num_nodes = num_nodes
+        self._num_edges = num_edges
+        self._nodes: List[Node] = list(source._nodes)
+        self._edges: List[Edge] = list(source._edges)
+        # --- CSR adjacency columns ---
+        offsets = array("q", bytes(8 * (num_nodes + 1)))
+        adj_edge = array("q")
+        adj_other = array("q")
+        adj_out = array("b")
+        for node_id in range(num_nodes):
+            entries = source._adjacency[node_id]
+            offsets[node_id + 1] = offsets[node_id] + len(entries)
+            for edge_id, other, outgoing in entries:
+                adj_edge.append(edge_id)
+                adj_other.append(other)
+                adj_out.append(1 if outgoing else 0)
+        self._offsets = offsets
+        self._adj_edge = memoryview(adj_edge)
+        self._adj_other = memoryview(adj_other)
+        self._adj_out = memoryview(adj_out)
+        # --- per-edge scalar columns ---
+        self._weights = array("d", (edge.weight for edge in self._edges))
+        label_ids: Dict[str, int] = {}
+        edge_label_ids = array("q", bytes(8 * num_edges))
+        for edge in self._edges:
+            edge_label_ids[edge.id] = label_ids.setdefault(edge.label, len(label_ids))
+        self._edge_label_ids = edge_label_ids
+        self._label_names: List[str] = list(label_ids)
+        # --- label / type indexes (per-label edge index included) ---
+        self._nodes_by_label = {label: tuple(ids) for label, ids in source._nodes_by_label.items()}
+        self._nodes_by_type = {name: tuple(ids) for name, ids in source._nodes_by_type.items()}
+        self._edges_by_label = {label: array("q", ids) for label, ids in source._edges_by_label.items()}
+        # --- lazy per-node view caches ---
+        self._adj_cache: List[Optional[Tuple[AdjacencyEntry, ...]]] = [None] * num_nodes
+        self._neighbor_cache: List[Optional[Tuple[int, ...]]] = [None] * num_nodes
+        self._filtered_cache: Dict[Tuple[int, FrozenSet[str]], Tuple[AdjacencyEntry, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # immutability
+    # ------------------------------------------------------------------
+    def add_node(self, *args: Any, **kwargs: Any) -> int:
+        raise GraphError(
+            "cannot add_node to a frozen CSRGraph; "
+            "mutate the source Graph and call freeze() again"
+        )
+
+    def add_edge(self, *args: Any, **kwargs: Any) -> int:
+        raise GraphError(
+            "cannot add_edge to a frozen CSRGraph; "
+            "mutate the source Graph and call freeze() again"
+        )
+
+    def freeze(self, force: bool = False) -> "CSRGraph":
+        """Already frozen — freezing is idempotent."""
+        return self
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def node(self, node_id: int) -> Node:
+        if not 0 <= node_id < self._num_nodes:
+            raise GraphError(f"unknown node id {node_id}")
+        return self._nodes[node_id]
+
+    def edge(self, edge_id: int) -> Edge:
+        if not 0 <= edge_id < self._num_edges:
+            raise GraphError(f"unknown edge id {edge_id}")
+        return self._edges[edge_id]
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    def node_ids(self) -> range:
+        return range(self._num_nodes)
+
+    def edge_ids(self) -> range:
+        return range(self._num_edges)
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def adjacent(self, node_id: int) -> Tuple[AdjacencyEntry, ...]:
+        """All incident edges of ``node_id`` as ``(edge_id, other, outgoing)``."""
+        cached = self._adj_cache[node_id]
+        if cached is None:
+            start, end = self._offsets[node_id], self._offsets[node_id + 1]
+            cached = tuple(
+                zip(
+                    self._adj_edge[start:end].tolist(),
+                    self._adj_other[start:end].tolist(),
+                    map(bool, self._adj_out[start:end]),
+                )
+            )
+            self._adj_cache[node_id] = cached
+        return cached
+
+    def adjacent_filtered(
+        self, node_id: int, labels: Optional[FrozenSet[str]] = None
+    ) -> Tuple[AdjacencyEntry, ...]:
+        """Incident edges whose label is in ``labels`` (all when ``None``)."""
+        if labels is None:
+            return self.adjacent(node_id)
+        if not isinstance(labels, frozenset):
+            labels = frozenset(labels)  # cache key; dict backend takes any iterable
+        key = (node_id, labels)
+        cached = self._filtered_cache.get(key)
+        if cached is None:
+            label_ids = self._edge_label_ids
+            names = self._label_names
+            cached = tuple(
+                entry for entry in self.adjacent(node_id) if names[label_ids[entry[0]]] in labels
+            )
+            self._filtered_cache[key] = cached
+        return cached
+
+    def degree(self, node_id: int) -> int:
+        return self._offsets[node_id + 1] - self._offsets[node_id]
+
+    def neighbor_ids(self, node_id: int) -> Tuple[int, ...]:
+        """Distinct neighbouring node ids (cached, direction ignored)."""
+        cached = self._neighbor_cache[node_id]
+        if cached is None:
+            start, end = self._offsets[node_id], self._offsets[node_id + 1]
+            others = self._adj_other[start:end].tolist()
+            cached = tuple(dict.fromkeys(others))
+            self._neighbor_cache[node_id] = cached
+        return cached
+
+    def neighbors(self, node_id: int) -> List[int]:
+        return list(self.neighbor_ids(node_id))
+
+    def out_edges(self, node_id: int) -> List[Edge]:
+        return [self._edges[e] for e, _, outgoing in self.adjacent(node_id) if outgoing]
+
+    def in_edges(self, node_id: int) -> List[Edge]:
+        return [self._edges[e] for e, _, outgoing in self.adjacent(node_id) if not outgoing]
+
+    # ------------------------------------------------------------------
+    # per-edge scalar columns (the hot-path accessors)
+    # ------------------------------------------------------------------
+    def edge_weight(self, edge_id: int) -> float:
+        return self._weights[edge_id]
+
+    def edge_label(self, edge_id: int) -> str:
+        return self._label_names[self._edge_label_ids[edge_id]]
+
+    # ------------------------------------------------------------------
+    # label / type indexes
+    # ------------------------------------------------------------------
+    def nodes_with_label(self, label: str) -> List[int]:
+        return list(self._nodes_by_label.get(label, ()))
+
+    def nodes_with_type(self, type_name: str) -> List[int]:
+        return list(self._nodes_by_type.get(type_name, ()))
+
+    def edges_with_label(self, label: str) -> List[int]:
+        return list(self._edges_by_label.get(label, ()))
+
+    def node_labels(self) -> List[str]:
+        return list(self._nodes_by_label)
+
+    def edge_labels(self) -> List[str]:
+        return list(self._edges_by_label)
+
+    def find_nodes(self, predicate: Callable[[Node], bool]) -> List[int]:
+        return [node.id for node in self._nodes if predicate(node)]
+
+    def find_node_by_label(self, label: str) -> int:
+        ids = self._nodes_by_label.get(label, ())
+        if len(ids) != 1:
+            raise GraphError(f"expected exactly one node labelled {label!r}, found {len(ids)}")
+        return ids[0]
+
+    # ------------------------------------------------------------------
+    # display helpers
+    # ------------------------------------------------------------------
+    def describe_edge(self, edge_id: int) -> str:
+        edge = self.edge(edge_id)
+        source = self._nodes[edge.source].label or str(edge.source)
+        target = self._nodes[edge.target].label or str(edge.target)
+        label = edge.label or "-"
+        return f"{source} -[{label}]-> {target}"
+
+    def describe_tree(self, edge_ids: Iterable[int]) -> str:
+        parts = sorted(self.describe_edge(e) for e in edge_ids)
+        if not parts:
+            return "(single node)"
+        return "; ".join(parts)
+
+    def __repr__(self) -> str:
+        name = f" {self.name!r}" if self.name else ""
+        return f"CSRGraph({name} nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+def freeze(graph: Graph) -> CSRGraph:
+    """CSR snapshot of ``graph`` (memoized — see :meth:`Graph.freeze`)."""
+    return graph.freeze()
+
+
+def backend_name(graph: Any) -> str:
+    """The backend identifier of a graph object (``"dict"`` when untagged)."""
+    return getattr(graph, "backend", "dict")
+
+
+def resolve_backend(graph: Any, backend: str = "auto") -> Any:
+    """Return ``graph`` in the representation requested by ``backend``.
+
+    * ``"auto"`` / ``"dict"`` — use the graph exactly as given (an already
+      frozen :class:`CSRGraph` is kept, never copied back);
+    * ``"csr"`` — freeze a mutable :class:`Graph` (memoized on the graph,
+      so repeated searches share one snapshot); no-op when already frozen.
+    """
+    if backend in ("auto", "dict") or backend is None:
+        return graph
+    if backend == "csr":
+        freezer = getattr(graph, "freeze", None)
+        return freezer() if freezer is not None else graph
+    raise GraphError(f"unknown graph backend {backend!r}; use one of {BACKENDS}")

@@ -103,6 +103,10 @@ class Graph:
     1
     """
 
+    #: Backend identifier (see :mod:`repro.graph.backend`).
+    backend = "dict"
+    frozen = False
+
     def __init__(self, name: str = ""):
         self.name = name
         self._nodes: List[Node] = []
@@ -111,6 +115,7 @@ class Graph:
         self._nodes_by_label: Dict[str, List[int]] = {}
         self._nodes_by_type: Dict[str, List[int]] = {}
         self._edges_by_label: Dict[str, List[int]] = {}
+        self._frozen_snapshot = None  # memoized CSR view (see freeze())
 
     # ------------------------------------------------------------------
     # construction
@@ -199,6 +204,28 @@ class Graph:
                 out.append(other)
         return out
 
+    def neighbor_ids(self, node_id: int) -> Sequence[int]:
+        """Distinct neighbour ids (backend API; cached on the CSR backend)."""
+        return self.neighbors(node_id)
+
+    def adjacent_filtered(
+        self, node_id: int, labels: Optional[Iterable[str]] = None
+    ) -> Sequence[AdjacencyEntry]:
+        """Incident edges whose label is in ``labels`` (all when ``None``)."""
+        entries = self._adjacency[node_id]
+        if labels is None:
+            return entries
+        edges = self._edges
+        return [entry for entry in entries if edges[entry[0]].label in labels]
+
+    def edge_weight(self, edge_id: int) -> float:
+        """Weight of edge ``edge_id`` (hot-path scalar accessor, unchecked)."""
+        return self._edges[edge_id].weight
+
+    def edge_label(self, edge_id: int) -> str:
+        """Label of edge ``edge_id`` (hot-path scalar accessor, unchecked)."""
+        return self._edges[edge_id].label
+
     def out_edges(self, node_id: int) -> List[Edge]:
         return [self._edges[e] for e, _, outgoing in self._adjacency[node_id] if outgoing]
 
@@ -233,6 +260,38 @@ class Graph:
         if len(ids) != 1:
             raise GraphError(f"expected exactly one node labelled {label!r}, found {len(ids)}")
         return ids[0]
+
+    # ------------------------------------------------------------------
+    # backends
+    # ------------------------------------------------------------------
+    def freeze(self, force: bool = False):
+        """A CSR (compressed sparse row) snapshot of this graph.
+
+        The snapshot is memoized: repeated calls return the same
+        :class:`~repro.graph.backend.CSRGraph` until nodes or edges are
+        *added*, after which the next call builds a fresh one.  The frozen
+        view is read-only; keep mutating *this* graph and re-freeze.
+
+        Edge weights and labels are copied into flat columns at freeze
+        time, and the memo only tracks node/edge counts (the class is
+        append-only by design) — so mutating a ``weight``/``label``
+        *in place* on an existing :class:`Edge` is not reflected by a
+        memoized snapshot.  Pass ``force=True`` to rebuild after such a
+        mutation.
+        """
+        from repro.graph.backend import CSRGraph
+
+        snapshot = self._frozen_snapshot
+        if (
+            not force
+            and snapshot is not None
+            and snapshot.num_nodes == len(self._nodes)
+            and snapshot.num_edges == len(self._edges)
+        ):
+            return snapshot
+        snapshot = CSRGraph(self)
+        self._frozen_snapshot = snapshot
+        return snapshot
 
     # ------------------------------------------------------------------
     # display helpers

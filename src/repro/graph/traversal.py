@@ -51,6 +51,19 @@ def bfs_distances(
         if source not in distances:
             distances[source] = 0
             queue.append(source)
+    if direction == "both" and getattr(graph, "frozen", False):
+        # CSR fast path: the frozen backend caches the distinct-neighbor
+        # tuple per node, so an undirected BFS never touches edge records.
+        while queue:
+            node = queue.popleft()
+            depth = distances[node]
+            if max_hops is not None and depth >= max_hops:
+                continue
+            for other in graph.neighbor_ids(node):
+                if other not in distances:
+                    distances[other] = depth + 1
+                    queue.append(other)
+        return distances
     while queue:
         node = queue.popleft()
         depth = distances[node]
@@ -84,7 +97,7 @@ def dijkstra_distances(
         for edge_id, other, outgoing in graph.adjacent(node):
             if not _follow(outgoing, direction):
                 continue
-            candidate = distance + graph.edge(edge_id).weight
+            candidate = distance + graph.edge_weight(edge_id)
             if candidate < distances.get(other, float("inf")):
                 distances[other] = candidate
                 heapq.heappush(heap, (candidate, other))

@@ -1,0 +1,80 @@
+"""Deterministic test/bench helpers: random graphs and result validation.
+
+Historically these lived in ``tests/conftest.py`` and test modules pulled
+them in with ``from conftest import ...``.  That import is ambiguous when
+pytest runs from the repository root: ``benchmarks/conftest.py`` is loaded
+first (directories are collected alphabetically) and registers itself in
+``sys.modules`` under the bare name ``conftest``, shadowing the tests'
+helpers and breaking collection.  The helpers are therefore packaged here,
+importable unambiguously by tests, benchmarks, and library users alike.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.ctp.results import CTPResultSet, validate_result
+from repro.graph.graph import Graph
+
+
+def random_graph(
+    rng: random.Random,
+    num_nodes: int,
+    num_edges: int,
+    num_labels: int = 3,
+) -> Graph:
+    """A random connected multigraph for cross-checking algorithms.
+
+    A random spanning tree guarantees connectivity; the remaining edges are
+    uniform random pairs (parallel edges allowed, self-loops skipped).
+    Deterministic for a given ``rng`` state.
+    """
+    graph = Graph("random")
+    for index in range(num_nodes):
+        graph.add_node(f"n{index}")
+    for node in range(1, num_nodes):
+        partner = rng.randrange(node)
+        label = f"l{rng.randrange(num_labels)}"
+        if rng.random() < 0.5:
+            graph.add_edge(node, partner, label)
+        else:
+            graph.add_edge(partner, node, label)
+    for _ in range(max(0, num_edges - (num_nodes - 1))):
+        a = rng.randrange(num_nodes)
+        b = rng.randrange(num_nodes)
+        if a == b:
+            continue
+        label = f"l{rng.randrange(num_labels)}"
+        graph.add_edge(a, b, label)
+    return graph
+
+
+def random_seed_sets(
+    rng: random.Random,
+    graph: Graph,
+    m: int,
+    max_size: int = 2,
+) -> Tuple[Tuple[int, ...], ...]:
+    """m pairwise-disjoint random seed sets."""
+    nodes = list(graph.node_ids())
+    rng.shuffle(nodes)
+    seed_sets: List[Tuple[int, ...]] = []
+    cursor = 0
+    for _ in range(m):
+        size = rng.randint(1, max_size)
+        seed_sets.append(tuple(nodes[cursor : cursor + size]))
+        cursor += size
+    return tuple(seed_sets)
+
+
+def assert_all_valid(graph: Graph, results: CTPResultSet, seed_sets: Sequence, wildcard=()):
+    """Every result satisfies Definition 2.8 (tree, one seed/set, minimal)."""
+    for result in results:
+        problems = validate_result(graph, result, seed_sets, wildcard)
+        assert not problems, f"invalid result {sorted(result.edges)}: {problems}"
+
+
+def assert_same_results(left: CTPResultSet, right: CTPResultSet):
+    """Two complete algorithms must return the same set of edge sets."""
+    assert left.edge_sets() == right.edge_sets()

@@ -1,15 +1,26 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+The randomized-graph helpers live in :mod:`repro.testing`; test modules
+import them explicitly (``from repro.testing import ...``) rather than via
+the bare ``conftest`` module name, which ``benchmarks/conftest.py`` shadows
+when pytest runs from the repository root.  They are re-exported here only
+for backward compatibility.
+"""
 
 from __future__ import annotations
 
-import random
-from typing import List, Sequence, Tuple
+from typing import Tuple
 
 import pytest
 
-from repro.ctp.results import CTPResultSet, validate_result
 from repro.graph.datasets import figure1, figure1_seed_sets
 from repro.graph.graph import Graph
+from repro.testing import (  # noqa: F401  (re-exported for back-compat)
+    assert_all_valid,
+    assert_same_results,
+    random_graph,
+    random_seed_sets,
+)
 
 
 @pytest.fixture
@@ -34,58 +45,3 @@ def tiny_path_graph() -> Tuple[Graph, Tuple[Tuple[int, ...], ...]]:
     return graph, ((a,), (b,))
 
 
-def random_graph(
-    rng: random.Random,
-    num_nodes: int,
-    num_edges: int,
-    num_labels: int = 3,
-) -> Graph:
-    """A random connected multigraph for cross-checking algorithms."""
-    graph = Graph("random")
-    for index in range(num_nodes):
-        graph.add_node(f"n{index}")
-    for node in range(1, num_nodes):
-        partner = rng.randrange(node)
-        label = f"l{rng.randrange(num_labels)}"
-        if rng.random() < 0.5:
-            graph.add_edge(node, partner, label)
-        else:
-            graph.add_edge(partner, node, label)
-    for _ in range(max(0, num_edges - (num_nodes - 1))):
-        a = rng.randrange(num_nodes)
-        b = rng.randrange(num_nodes)
-        if a == b:
-            continue
-        label = f"l{rng.randrange(num_labels)}"
-        graph.add_edge(a, b, label)
-    return graph
-
-
-def random_seed_sets(
-    rng: random.Random,
-    graph: Graph,
-    m: int,
-    max_size: int = 2,
-) -> Tuple[Tuple[int, ...], ...]:
-    """m pairwise-disjoint random seed sets."""
-    nodes = list(graph.node_ids())
-    rng.shuffle(nodes)
-    seed_sets: List[Tuple[int, ...]] = []
-    cursor = 0
-    for _ in range(m):
-        size = rng.randint(1, max_size)
-        seed_sets.append(tuple(nodes[cursor : cursor + size]))
-        cursor += size
-    return tuple(seed_sets)
-
-
-def assert_all_valid(graph: Graph, results: CTPResultSet, seed_sets: Sequence, wildcard=()):
-    """Every result satisfies Definition 2.8 (tree, one seed/set, minimal)."""
-    for result in results:
-        problems = validate_result(graph, result, seed_sets, wildcard)
-        assert not problems, f"invalid result {sorted(result.edges)}: {problems}"
-
-
-def assert_same_results(left: CTPResultSet, right: CTPResultSet):
-    """Two complete algorithms must return the same set of edge sets."""
-    assert left.edge_sets() == right.edge_sets()

@@ -10,7 +10,7 @@ import random
 
 import pytest
 
-from conftest import random_graph, random_seed_sets
+from repro.testing import random_graph, random_seed_sets
 from repro.ctp.analysis import (
     classify_piece,
     is_edge_set,

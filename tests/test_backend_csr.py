@@ -1,0 +1,265 @@
+"""The pluggable backend layer: CSR <-> dict equivalence and freeze semantics.
+
+Two groups of tests:
+
+* property-style equivalence — on randomized graphs (several seeds) the
+  dict backend (:class:`Graph`) and the CSR backend (:class:`CSRGraph`)
+  must agree on every read the algorithms perform: adjacency entries and
+  their order, degrees, neighbor sets, label-filtered expansion, BFS /
+  Dijkstra distances, traversal order, and the full MoLESP/BFT result
+  trees;
+* freeze edge cases — empty graphs, self-loops, parallel edges,
+  unknown-label queries, memoization, and mutation-after-freeze errors.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ctp.bft import BFTSearch
+from repro.ctp.config import SearchConfig
+from repro.ctp.esp import ESPSearch
+from repro.ctp.molesp import MoLESPSearch
+from repro.errors import GraphError
+from repro.graph.backend import BACKENDS, CSRGraph, GraphBackend, backend_name, resolve_backend
+from repro.graph.graph import Graph
+from repro.graph.traversal import ball, bfs_distances, dijkstra_distances
+from repro.testing import assert_all_valid, random_graph, random_seed_sets
+
+SEEDS = (1, 2, 3, 5, 8, 13)
+
+
+def _normalize(entries):
+    return [(edge, other, bool(outgoing)) for edge, other, outgoing in entries]
+
+
+# ----------------------------------------------------------------------
+# protocol / selection
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_both_backends_satisfy_protocol(self):
+        graph = random_graph(random.Random(0), num_nodes=6, num_edges=9)
+        assert isinstance(graph, GraphBackend)
+        assert isinstance(graph.freeze(), GraphBackend)
+
+    def test_backend_names(self):
+        graph = Graph()
+        assert backend_name(graph) == "dict"
+        assert backend_name(graph.freeze()) == "csr"
+        assert backend_name(object()) == "dict"
+
+    def test_resolve_backend(self):
+        graph = random_graph(random.Random(0), num_nodes=5, num_edges=7)
+        assert resolve_backend(graph, "auto") is graph
+        assert resolve_backend(graph, "dict") is graph
+        frozen = resolve_backend(graph, "csr")
+        assert isinstance(frozen, CSRGraph)
+        # already-frozen graphs pass through every mode untouched
+        assert resolve_backend(frozen, "csr") is frozen
+        assert resolve_backend(frozen, "auto") is frozen
+        with pytest.raises(GraphError, match="unknown graph backend"):
+            resolve_backend(graph, "gpu")
+        assert set(BACKENDS) == {"auto", "dict", "csr"}
+
+    def test_config_validates_backend(self):
+        assert SearchConfig(backend="csr").backend == "csr"
+        with pytest.raises(ValueError, match="unknown backend"):
+            SearchConfig(backend="gpu")
+
+
+# ----------------------------------------------------------------------
+# equivalence properties (dict vs CSR)
+# ----------------------------------------------------------------------
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_topology_reads_identical(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(rng, num_nodes=12, num_edges=24, num_labels=4)
+        frozen = graph.freeze()
+        assert frozen.num_nodes == graph.num_nodes
+        assert frozen.num_edges == graph.num_edges
+        for node in graph.node_ids():
+            assert _normalize(frozen.adjacent(node)) == _normalize(graph.adjacent(node))
+            assert frozen.degree(node) == graph.degree(node)
+            assert frozen.neighbors(node) == graph.neighbors(node)
+            assert list(frozen.neighbor_ids(node)) == list(graph.neighbor_ids(node))
+        for edge_id in graph.edge_ids():
+            assert frozen.edge_weight(edge_id) == graph.edge_weight(edge_id)
+            assert frozen.edge_label(edge_id) == graph.edge_label(edge_id)
+            assert frozen.edge(edge_id) is graph.edge(edge_id)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_label_indexes_identical(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(rng, num_nodes=10, num_edges=20, num_labels=3)
+        frozen = graph.freeze()
+        for label in graph.edge_labels():
+            assert frozen.edges_with_label(label) == graph.edges_with_label(label)
+            labels = frozenset((label,))
+            for node in graph.node_ids():
+                assert _normalize(frozen.adjacent_filtered(node, labels)) == _normalize(
+                    graph.adjacent_filtered(node, labels)
+                )
+        assert sorted(frozen.edge_labels()) == sorted(graph.edge_labels())
+        assert sorted(frozen.node_labels()) == sorted(graph.node_labels())
+        for label in graph.node_labels():
+            assert frozen.nodes_with_label(label) == graph.nodes_with_label(label)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_traversal_identical(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(rng, num_nodes=14, num_edges=28)
+        frozen = graph.freeze()
+        for direction in ("both", "out", "in"):
+            assert bfs_distances(frozen, [0], direction) == bfs_distances(graph, [0], direction)
+            assert dijkstra_distances(frozen, [0], direction) == dijkstra_distances(
+                graph, [0], direction
+            )
+        # traversal order, not just distances
+        assert ball(frozen, 0, radius=3) == ball(graph, 0, radius=3)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_molesp_results_identical(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(rng, num_nodes=8, num_edges=12)
+        seed_sets = random_seed_sets(rng, graph, m=3)
+        algorithm = MoLESPSearch()
+        via_dict = algorithm.run(graph, seed_sets, SearchConfig(backend="dict"))
+        via_csr = algorithm.run(graph, seed_sets, SearchConfig(backend="csr"))
+        via_frozen = algorithm.run(graph.freeze(), seed_sets)
+        assert via_dict.edge_sets() == via_csr.edge_sets() == via_frozen.edge_sets()
+        assert_all_valid(graph, via_csr, seed_sets)
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_esp_and_bft_results_identical(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(rng, num_nodes=7, num_edges=10)
+        seed_sets = random_seed_sets(rng, graph, m=2)
+        for algorithm in (ESPSearch(), BFTSearch()):
+            via_dict = algorithm.run(graph, seed_sets, SearchConfig(backend="dict"))
+            via_csr = algorithm.run(graph, seed_sets, SearchConfig(backend="csr"))
+            assert via_dict.edge_sets() == via_csr.edge_sets()
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_label_filtered_search_identical(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(rng, num_nodes=9, num_edges=18, num_labels=2)
+        seed_sets = random_seed_sets(rng, graph, m=2)
+        algorithm = MoLESPSearch()
+        labels = frozenset(("l0", "l1"))
+        via_dict = algorithm.run(graph, seed_sets, SearchConfig(labels=labels, backend="dict"))
+        via_csr = algorithm.run(graph, seed_sets, SearchConfig(labels=labels, backend="csr"))
+        assert via_dict.edge_sets() == via_csr.edge_sets()
+
+
+# ----------------------------------------------------------------------
+# freeze edge cases
+# ----------------------------------------------------------------------
+class TestFreeze:
+    def test_empty_graph(self):
+        frozen = Graph("empty").freeze()
+        assert frozen.num_nodes == 0
+        assert frozen.num_edges == 0
+        assert list(frozen.nodes()) == []
+        assert frozen.edges_with_label("nope") == []
+        with pytest.raises(GraphError):
+            frozen.node(0)
+
+    def test_self_loop_appears_once(self):
+        graph = Graph()
+        a = graph.add_node("A")
+        loop = graph.add_edge(a, a, "self")
+        frozen = graph.freeze()
+        assert _normalize(frozen.adjacent(a)) == [(loop, a, True)]
+        assert frozen.degree(a) == 1
+        assert frozen.neighbors(a) == [a]
+
+    def test_parallel_edges_kept(self):
+        graph = Graph()
+        a, b = graph.add_node("A"), graph.add_node("B")
+        e1 = graph.add_edge(a, b, "x")
+        e2 = graph.add_edge(a, b, "x")
+        frozen = graph.freeze()
+        assert _normalize(frozen.adjacent(a)) == [(e1, b, True), (e2, b, True)]
+        assert frozen.degree(a) == 2
+        assert frozen.neighbors(a) == [b]  # distinct neighbors deduplicate
+        assert frozen.edges_with_label("x") == [e1, e2]
+
+    def test_unknown_label_queries(self):
+        graph = Graph()
+        a, b = graph.add_node("A"), graph.add_node("B")
+        graph.add_edge(a, b, "x")
+        frozen = graph.freeze()
+        assert frozen.nodes_with_label("nope") == []
+        assert frozen.nodes_with_type("nope") == []
+        assert frozen.edges_with_label("nope") == []
+        assert frozen.adjacent_filtered(a, frozenset(("nope",))) == ()
+        with pytest.raises(GraphError, match="expected exactly one node"):
+            frozen.find_node_by_label("nope")
+
+    def test_mutation_after_freeze_raises(self):
+        graph = Graph()
+        graph.add_node("A")
+        frozen = graph.freeze()
+        with pytest.raises(GraphError, match="frozen CSRGraph"):
+            frozen.add_node("B")
+        with pytest.raises(GraphError, match="frozen CSRGraph"):
+            frozen.add_edge(0, 0)
+
+    def test_freeze_is_memoized_and_invalidated(self):
+        graph = Graph()
+        a = graph.add_node("A")
+        frozen = graph.freeze()
+        assert graph.freeze() is frozen  # same snapshot while unchanged
+        assert frozen.freeze() is frozen  # idempotent on the frozen view
+        b = graph.add_node("B")
+        graph.add_edge(a, b, "x")
+        refrozen = graph.freeze()
+        assert refrozen is not frozen  # mutation invalidates the memo
+        assert refrozen.num_nodes == 2
+        assert frozen.num_nodes == 1  # the old snapshot is unchanged
+
+    def test_frozen_graph_snapshot_is_stable(self):
+        graph = Graph()
+        a, b = graph.add_node("A"), graph.add_node("B")
+        graph.add_edge(a, b, "x")
+        frozen = graph.freeze()
+        graph.add_edge(b, a, "y")  # mutate the source afterwards
+        assert frozen.num_edges == 1
+        assert _normalize(frozen.adjacent(b)) == [(0, a, False)]
+
+    def test_adjacent_filtered_accepts_any_iterable(self):
+        graph = Graph()
+        a, b = graph.add_node("A"), graph.add_node("B")
+        e = graph.add_edge(a, b, "x")
+        frozen = graph.freeze()
+        # dict backend takes any iterable of labels; CSR must too
+        assert _normalize(frozen.adjacent_filtered(a, ["x"])) == [(e, b, True)]
+        assert _normalize(frozen.adjacent_filtered(a, {"x"})) == _normalize(
+            graph.adjacent_filtered(a, ["x"])
+        )
+
+    def test_force_refreeze_picks_up_in_place_mutation(self):
+        graph = Graph()
+        a, b = graph.add_node("A"), graph.add_node("B")
+        e = graph.add_edge(a, b, "x", weight=1.0)
+        frozen = graph.freeze()
+        graph.edge(e).weight = 9.0  # in-place mutation: counts unchanged
+        assert graph.freeze() is frozen  # memo cannot see it (documented)
+        assert frozen.edge_weight(e) == 1.0
+        refrozen = graph.freeze(force=True)
+        assert refrozen is not frozen
+        assert refrozen.edge_weight(e) == 9.0
+        assert refrozen.freeze(force=True) is refrozen  # idempotent on frozen views
+
+    def test_describe_helpers_match(self):
+        graph = Graph()
+        a, b = graph.add_node("A"), graph.add_node("B")
+        e = graph.add_edge(a, b, "x")
+        frozen = graph.freeze()
+        assert frozen.describe_edge(e) == graph.describe_edge(e)
+        assert frozen.describe_tree([e]) == graph.describe_tree([e])
+        assert frozen.describe_tree([]) == "(single node)"
+        assert "CSRGraph" in repr(frozen)

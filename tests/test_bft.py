@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import assert_all_valid, assert_same_results, random_graph, random_seed_sets
+from repro.testing import assert_all_valid, assert_same_results, random_graph, random_seed_sets
 from repro.ctp.bft import BFTAMSearch, BFTMSearch, BFTSearch
 from repro.ctp.config import WILDCARD, SearchConfig
 from repro.ctp.gam import GAMSearch

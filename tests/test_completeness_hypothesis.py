@@ -10,7 +10,7 @@ import random
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from conftest import assert_all_valid
+from repro.testing import assert_all_valid
 from repro.baselines.dpbf import dpbf_optimal_tree
 from repro.ctp.bft import BFTSearch
 from repro.ctp.config import SearchConfig

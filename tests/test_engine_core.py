@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import assert_all_valid, random_graph, random_seed_sets
+from repro.testing import assert_all_valid, random_graph, random_seed_sets
 from repro.ctp.config import WILDCARD, SearchConfig
 from repro.ctp.engine import normalize_seed_sets
 from repro.ctp.molesp import MoLESPSearch

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import random_graph, random_seed_sets
+from repro.testing import random_graph, random_seed_sets
 from repro.ctp.config import SearchConfig
 from repro.ctp.gam import GAMSearch
 from repro.ctp.molesp import MoLESPSearch

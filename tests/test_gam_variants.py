@@ -16,7 +16,7 @@ import random
 
 import pytest
 
-from conftest import assert_all_valid, random_graph, random_seed_sets
+from repro.testing import assert_all_valid, random_graph, random_seed_sets
 from repro.ctp.esp import ESPSearch
 from repro.ctp.gam import GAMSearch
 from repro.ctp.lesp import LESPSearch
