@@ -1,0 +1,92 @@
+"""Micro-benchmarks: frozenset vs interned tree state (``repro.ctp.interning``).
+
+Run with ``pytest benchmarks/bench_tree_interning.py`` (pytest-benchmark
+groups the frozen/interned variants of each workload together).  The same
+comparison, reported paper-style and wired into ``repro.bench``, lives in
+``python -m repro.bench interning``; measured numbers are checked in as
+``BENCH_interning.json``.
+
+The engine benchmarks run the *same* engine with the two tree-state
+representations (``SearchConfig(interning=...)``); the primitive benchmarks
+hit the :class:`EdgeSetPool` constructors directly against plain frozenset
+arithmetic.
+"""
+
+import pytest
+
+from repro.bench.experiments.micro_interning import (
+    _grow_stream,
+    _merge_stream,
+    grouped_star,
+)
+from repro.ctp.config import SearchConfig
+from repro.ctp.gam import GAMSearch
+from repro.ctp.moesp import MoESPSearch
+from repro.ctp.molesp import MoLESPSearch
+from repro.workloads.synthetic import chain_graph
+
+MODES = ("frozen", "interned")
+
+
+def _config(mode: str) -> SearchConfig:
+    return SearchConfig(interning=mode == "interned")
+
+
+@pytest.fixture(scope="module")
+def star_groups():
+    return grouped_star(4, 4, 2)
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return chain_graph(10)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_molesp_star_groups(benchmark, star_groups, mode):
+    graph, seeds = star_groups
+    algorithm = MoLESPSearch()
+    config = _config(mode)
+    result = benchmark(lambda: algorithm.run(graph, seeds, config))
+    assert result.complete
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_moesp_star_groups(benchmark, star_groups, mode):
+    graph, seeds = star_groups
+    algorithm = MoESPSearch()
+    config = _config(mode)
+    result = benchmark(lambda: algorithm.run(graph, seeds, config))
+    assert result.complete
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_molesp_chain(benchmark, chain, mode):
+    graph, seeds = chain
+    algorithm = MoLESPSearch()
+    config = _config(mode)
+    result = benchmark(lambda: algorithm.run(graph, seeds, config))
+    assert len(result) == 2**10
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_gam_chain(benchmark, mode):
+    graph, seeds = chain_graph(8)
+    algorithm = GAMSearch()
+    config = _config(mode)
+    result = benchmark(lambda: algorithm.run(graph, seeds, config))
+    assert result.complete
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_primitive_grow_history(benchmark, mode):
+    frozen_op, interned_op = _grow_stream(64, 50)
+    total = benchmark(frozen_op if mode == "frozen" else interned_op)
+    assert total == 64  # 64 distinct prefixes, every later round re-derives
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_primitive_merge_tournament(benchmark, mode):
+    frozen_op, interned_op = _merge_stream(32, 50)
+    total = benchmark(frozen_op if mode == "frozen" else interned_op)
+    assert total == 31  # a 32-leaf tournament interns 31 distinct unions

@@ -118,9 +118,9 @@ def dpbf_optimal_tree(
     edges = _reconstruct(parent, final_state)
     nodes = set()
     for edge_id in edges:
-        edge = graph.edge(edge_id)
-        nodes.add(edge.source)
-        nodes.add(edge.target)
+        source, target = graph.edge_endpoints(edge_id)
+        nodes.add(source)
+        nodes.add(target)
     if not edges:
         nodes = {final_state[0]}
     seeds: List[Optional[int]] = [None] * m

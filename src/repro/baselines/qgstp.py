@@ -204,9 +204,9 @@ def _spanning_prune(graph: Graph, edges: Set[int], root: int) -> Tuple[Set[int],
     """Extract a spanning tree of the union-of-paths subgraph via BFS."""
     adjacency: Dict[int, List[Tuple[int, int]]] = {}
     for edge_id in edges:
-        edge = graph.edge(edge_id)
-        adjacency.setdefault(edge.source, []).append((edge_id, edge.target))
-        adjacency.setdefault(edge.target, []).append((edge_id, edge.source))
+        source, target = graph.edge_endpoints(edge_id)
+        adjacency.setdefault(source, []).append((edge_id, target))
+        adjacency.setdefault(target, []).append((edge_id, source))
     tree_edges: Set[int] = set()
     visited = {root}
     stack = [root]
@@ -229,9 +229,9 @@ def _strip_leaves(graph: Graph, edges: Set[int], nodes: Set[int], keep: Set[int]
         changed = False
         degree: Dict[int, List[int]] = {n: [] for n in nodes}
         for edge_id in edges:
-            edge = graph.edge(edge_id)
-            degree[edge.source].append(edge_id)
-            degree[edge.target].append(edge_id)
+            source, target = graph.edge_endpoints(edge_id)
+            degree[source].append(edge_id)
+            degree[target].append(edge_id)
         for node, incident in degree.items():
             if len(incident) == 1 and node not in keep:
                 edges.discard(incident[0])

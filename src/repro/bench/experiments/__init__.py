@@ -13,6 +13,7 @@ from repro.bench.experiments import (
     fig13_cdf_m2,
     fig14_cdf_m3,
     micro_backend,
+    micro_interning,
     table1_yago,
 )
 from repro.bench.harness import ExperimentReport
@@ -29,6 +30,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "table1": table1_yago.run,
     "abl01": abl01_design.run,
     "backend": micro_backend.run,
+    "interning": micro_interning.run,
 }
 
 

@@ -1,0 +1,263 @@
+"""E-interning — frozenset vs interned tree state on the GAM-family loops.
+
+Not tied to a paper figure.  Quantifies what the interning layer
+(:mod:`repro.ctp.interning` — hash-consed edge-set handles, node bitmasks,
+sat-bucketed merge partners, the balanced-pop size heap) buys over the
+seed frozenset bookkeeping.  Every engine row runs the *same* engine twice
+— ``SearchConfig(interning=False)`` selects the frozenset fallback with
+the seed's linear partner scans — so the delta is exactly the tree-state
+representation.
+
+Two groups of rows:
+
+* ``engine`` rows — end-to-end searches.  The merge-heavy rows use
+  multi-node seed sets (the paper's keyword regime, Section 5.3): many
+  trees per root share few distinct sat masks, which is where bucketed
+  ``TreesRootedIn`` skips whole partner groups wholesale.  The ``gam`` /
+  ``bft-am`` rows are the neutrality check — those engines get little
+  from the index, and the pool must not tax them.
+* ``primitive`` rows — raw Grow/Merge/history throughput on synthetic
+  edge-set streams, where re-deriving a set the pool has seen is a memo
+  hit (O(1)) against the frozenset build-and-rehash (O(|tree|)).
+
+Interpretation guide: speedup = frozen_ms / interned_ms.  Expect >=1.5x
+on the merge-heavy MoESP/MoLESP rows, ~1x on GAM/BFT (plain BFT on tiny
+chains can pay up to ~15% — pool calls without any history/merge win —
+while BFT-M/AM and real-graph workloads sit within ~5%).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional, Tuple
+
+from repro.bench.harness import ExperimentReport, Measurement
+from repro.ctp.bft import BFTAMSearch
+from repro.ctp.config import SearchConfig
+from repro.ctp.gam import GAMSearch
+from repro.ctp.interning import EdgeSetPool
+from repro.ctp.moesp import MoESPSearch
+from repro.ctp.molesp import MoLESPSearch
+from repro.testing import random_graph, random_seed_sets
+from repro.workloads.cdf import cdf_graph
+from repro.workloads.synthetic import chain_graph, star_graph
+
+
+def grouped_star(num_sets: int, tips_per_set: int, arm_length: int):
+    """A star whose arm tips are grouped into few multi-node seed sets.
+
+    This is the merge-cascade worst case the interning layer targets: all
+    trees meet at the hub, every seed set contributes many alternative
+    tips, so ``TreesRootedIn[hub]`` holds many trees over few distinct sat
+    masks — exactly what the sat-bucket index skips wholesale.
+    """
+    graph, singleton = star_graph(num_sets * tips_per_set, arm_length)
+    tips = [seeds[0] for seeds in singleton]
+    seed_sets = tuple(
+        tuple(tips[index * tips_per_set : (index + 1) * tips_per_set])
+        for index in range(num_sets)
+    )
+    return graph, seed_sets
+
+
+def labeled_random(num_labels: int = 8):
+    """A dense random multigraph with diverse edge labels + LABEL filter."""
+    graph = random_graph(random.Random(42), 60, 150, num_labels=num_labels)
+    seed_sets = random_seed_sets(random.Random(43), graph, 3, max_size=6)
+    labels = frozenset(f"l{index}" for index in range(max(2, num_labels - 3)))
+    return graph, seed_sets, labels
+
+
+def _ab(algorithm, graph, seed_sets, repeats: int, timeout: float, **config) -> Tuple[float, float, object]:
+    """Interleaved best-of-N A/B of the two representations."""
+    frozen = interned = float("inf")
+    stats = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        algorithm.run(graph, seed_sets, SearchConfig(interning=False, timeout=timeout, **config))
+        frozen = min(frozen, time.perf_counter() - started)
+        started = time.perf_counter()
+        result = algorithm.run(graph, seed_sets, SearchConfig(interning=True, timeout=timeout, **config))
+        interned = min(interned, time.perf_counter() - started)
+        stats = result.stats
+    return frozen, interned, stats
+
+
+# ----------------------------------------------------------------------
+# primitive throughput (Grow / Merge / history) on synthetic streams
+# ----------------------------------------------------------------------
+def _grow_stream(path_edges: int, rounds: int) -> Tuple[Callable[[], int], Callable[[], int]]:
+    """Re-derive the same Grow chain ``rounds`` times (prefixes of a path)."""
+
+    def frozen() -> int:
+        hist = set()
+        total = 0
+        for _ in range(rounds):
+            edges = frozenset()
+            for edge_id in range(path_edges):
+                edges = edges | {edge_id}
+                if edges not in hist:
+                    hist.add(edges)
+                    total += 1
+        return total
+
+    def interned() -> int:
+        pool = EdgeSetPool()
+        hist = set()
+        total = 0
+        for _ in range(rounds):
+            eset = pool.EMPTY
+            for edge_id in range(path_edges):
+                eset = pool.union1(eset, edge_id)
+                if eset not in hist:
+                    hist.add(eset)
+                    total += 1
+        return total
+
+    return frozen, interned
+
+
+def _merge_stream(num_pieces: int, rounds: int) -> Tuple[Callable[[], int], Callable[[], int]]:
+    """Merge disjoint 8-edge pieces pairwise, tournament style, repeatedly."""
+    pieces = [frozenset(range(base * 8, base * 8 + 8)) for base in range(num_pieces)]
+
+    def frozen() -> int:
+        hist = set()
+        total = 0
+        for _ in range(rounds):
+            level = pieces
+            while len(level) > 1:
+                merged = []
+                for index in range(0, len(level) - 1, 2):
+                    union = level[index] | level[index + 1]
+                    if union not in hist:
+                        hist.add(union)
+                        total += 1
+                    merged.append(union)
+                level = merged
+        return total
+
+    def interned() -> int:
+        pool = EdgeSetPool()
+        ids = [pool.intern(piece) for piece in pieces]
+        hist = set()
+        total = 0
+        for _ in range(rounds):
+            level = ids
+            while len(level) > 1:
+                merged = []
+                for index in range(0, len(level) - 1, 2):
+                    union = pool.union2(level[index], level[index + 1])
+                    if union not in hist:
+                        hist.add(union)
+                        total += 1
+                    merged.append(union)
+                level = merged
+        return total
+
+    return frozen, interned
+
+
+def run(scale: float = 1.0, timeout: Optional[float] = None, repeats: int = 1) -> ExperimentReport:
+    timeout = timeout if timeout is not None else 60.0
+    report = ExperimentReport(
+        experiment="interning",
+        title="Interning micro-bench: frozenset vs hash-consed tree state (GAM-family hot loops)",
+        config={"scale": scale, "timeout": timeout, "repeats": repeats},
+    )
+
+    # --- engine rows ---------------------------------------------------
+    tips = max(2, round(5 * scale))
+    tips_wide = max(3, round(8 * scale))
+    chain_n = max(6, round(12 * scale))
+    cdf_trees = max(6, round(20 * scale))
+    star_groups_4 = grouped_star(4, tips, 2)
+    star_groups_3 = grouped_star(3, tips_wide, 2)
+    chain = chain_graph(chain_n)
+    cdf = cdf_graph(num_trees=cdf_trees, num_links=2 * cdf_trees, link_length=3, m=2, seed=7)
+    cdf_seeds = (tuple(cdf.eligible_top), tuple(cdf.eligible_bottom))
+    gam_chain = chain_graph(max(5, round(9 * scale)))
+    bft_star = star_graph(max(3, round(5 * scale)), 3)
+    diverse_graph, diverse_seeds, diverse_labels = labeled_random()
+    label_cap = max(2000, round(30000 * scale))
+
+    engine_rows = (
+        ("molesp", f"star-groups-4x{tips}", "merge-heavy", MoLESPSearch(), star_groups_4, {}),
+        ("molesp", f"star-groups-3x{tips_wide}", "merge-heavy", MoLESPSearch(), star_groups_3, {}),
+        ("moesp", f"star-groups-4x{tips}", "merge-heavy", MoESPSearch(), star_groups_4, {}),
+        ("molesp", f"chain-{chain_n}", "merge-heavy", MoLESPSearch(), chain, {}),
+        (
+            "molesp",
+            "random-labeled",
+            "label-diverse",
+            MoLESPSearch(),
+            (diverse_graph, diverse_seeds),
+            {"labels": diverse_labels, "max_trees": label_cap},
+        ),
+        ("molesp", "cdf-community-m2", "sparse-tax", MoLESPSearch(), (cdf.graph, cdf_seeds), {}),
+        ("gam", "chain", "neutral", GAMSearch(), gam_chain, {}),
+        ("bft-am", "star", "neutral", BFTAMSearch(), bft_star, {}),
+    )
+    for algo_name, workload, regime, algorithm, (graph, seed_sets), extra in engine_rows:
+        frozen_s, interned_s, stats = _ab(algorithm, graph, seed_sets, repeats, timeout, **extra)
+        report.add(
+            Measurement(
+                params={"group": "engine", "algo": algo_name, "workload": workload, "regime": regime},
+                seconds=frozen_s,
+                values={
+                    "frozen_ms": round(frozen_s * 1000, 3),
+                    "interned_ms": round(interned_s * 1000, 3),
+                    "speedup": round(frozen_s / interned_s, 2) if interned_s else float("inf"),
+                    "buckets_skipped": stats.merge_buckets_skipped,
+                    "pool_sets": stats.pool_sets,
+                },
+            )
+        )
+
+    # --- primitive rows ------------------------------------------------
+    rounds = max(1, round(200 * scale))
+    primitives = (
+        ("grow-history", _grow_stream(64, rounds)),
+        ("merge-tournament", _merge_stream(32, rounds)),
+    )
+    for op_name, (frozen_op, interned_op) in primitives:
+        frozen_op(), interned_op()  # warm-up
+        frozen_s = interned_s = float("inf")
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            frozen_op()
+            frozen_s = min(frozen_s, time.perf_counter() - started)
+            started = time.perf_counter()
+            interned_op()
+            interned_s = min(interned_s, time.perf_counter() - started)
+        report.add(
+            Measurement(
+                params={"group": "primitive", "algo": "-", "workload": op_name, "regime": "rederive"},
+                seconds=frozen_s,
+                values={
+                    "frozen_ms": round(frozen_s * 1000, 3),
+                    "interned_ms": round(interned_s * 1000, 3),
+                    "speedup": round(frozen_s / interned_s, 2) if interned_s else float("inf"),
+                },
+            )
+        )
+
+    report.note(
+        "speedup = frozen_ms / interned_ms; engine rows rerun the same engine with "
+        "SearchConfig(interning=False) (seed frozenset bookkeeping + linear partner "
+        "scans) vs the interned default (edge-set pool, node bitmasks, sat-bucketed "
+        "TreesRootedIn, balanced-pop size heap)"
+    )
+    report.note(
+        "merge-heavy rows use multi-node seed sets (keyword regime): many partners, "
+        "few sat masks -> bucket skipping dominates; neutral rows check the pool tax "
+        "on engines that cannot benefit (target: within ~5%)"
+    )
+    report.note(
+        "the sparse-tax row is the documented worst case: on tree-shaped community "
+        "graphs nearly every derived edge set is new and no merge pressure exists, "
+        "so interning pays its bookkeeping (~25%) without a history win — use "
+        "SearchConfig(interning=False) for that regime"
+    )
+    return report

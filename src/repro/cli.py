@@ -35,7 +35,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         graph,
         args.query,
         algorithm=args.algorithm,
-        base_config=SearchConfig(backend=args.backend),
+        base_config=SearchConfig(backend=args.backend, interning=not args.no_interning),
         default_timeout=args.timeout,
     )
     print(result.format(limit=args.rows))
@@ -94,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "dict", "csr"),
         default="auto",
         help="graph storage backend for the search (csr = frozen compressed-sparse-row)",
+    )
+    query.add_argument(
+        "--no-interning",
+        action="store_true",
+        help="disable the hash-consed edge-set pool (frozenset fallback; for A/B timing)",
     )
     query.add_argument("--timeout", type=float, default=30.0, help="per-CTP timeout in seconds")
     query.add_argument("--rows", type=int, default=25, help="max rows to display")

@@ -26,6 +26,7 @@ from repro.ctp.analysis import (
     simple_tree_decomposition,
 )
 from repro.ctp.config import WILDCARD, SearchConfig
+from repro.ctp.interning import EdgeSetPool, FrozenEdgeSets
 from repro.ctp.results import CTPResultSet, ResultTree, validate_result
 from repro.ctp.stats import SearchStats
 from repro.ctp.registry import ALGORITHMS, evaluate_ctp, get_algorithm
@@ -40,7 +41,9 @@ __all__ = [
     "ALGORITHMS",
     "BFTSearch",
     "CTPResultSet",
+    "EdgeSetPool",
     "ESPSearch",
+    "FrozenEdgeSets",
     "GAMSearch",
     "LESPSearch",
     "MoESPSearch",

@@ -21,6 +21,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro._util import Deadline, full_mask
 from repro.ctp.config import DEFAULT_CONFIG, SearchConfig
 from repro.ctp.engine import _StopSearch, normalize_seed_sets
+from repro.ctp.interning import make_pool
 from repro.ctp.results import CTPResultSet, ResultTree
 from repro.ctp.stats import SearchStats
 from repro.errors import SearchError
@@ -29,15 +30,31 @@ from repro.graph.graph import Graph
 
 
 class _BFTTree:
-    """An unrooted candidate tree: edge set, node set, seed coverage."""
+    """An unrooted candidate tree: edge set, node set, seed coverage.
 
-    __slots__ = ("edges", "nodes", "sat", "weight")
+    ``eset`` is the edge set's pool handle (:mod:`repro.ctp.interning`) —
+    BFT's ``memory`` is by far the biggest history structure in the paper's
+    experiments (Figure 10), so O(1) membership matters most here.
+    ``node_mask`` is the exact node bitmask used for the Merge1 analogue.
+    """
 
-    def __init__(self, edges: FrozenSet[int], nodes: FrozenSet[int], sat: int, weight: float):
-        self.edges = edges
+    __slots__ = ("pool", "eset", "nodes", "node_mask", "sat", "weight")
+
+    def __init__(self, pool, eset, nodes: FrozenSet[int], node_mask: int, sat: int, weight: float):
+        self.pool = pool
+        self.eset = eset
         self.nodes = nodes
+        self.node_mask = node_mask
         self.sat = sat
         self.weight = weight
+
+    @property
+    def edges(self) -> FrozenSet[int]:
+        return self.pool.edges(self.eset)
+
+    @property
+    def size(self) -> int:
+        return self.pool.size(self.eset)
 
 
 class BFTSearch:
@@ -89,7 +106,8 @@ class _BFTRun:
         for bit, nodes in enumerate(self.explicit_sets):
             for node in nodes:
                 self.seed_mask[node] = self.seed_mask.get(node, 0) | (1 << bit)
-        self.memory: Set[FrozenSet[int]] = set()  # every tree ever built
+        self.pool = make_pool(config.interning)
+        self.memory: Set = set()  # every tree ever built (edge-set handles)
         self.trees_containing: Dict[int, List[_BFTTree]] = {}
         self.queue: deque = deque()
         self.result_keys: Set[FrozenSet[int]] = set()
@@ -107,6 +125,10 @@ class _BFTRun:
             complete = False
             self.timed_out = stop.timed_out
         self.stats.elapsed_seconds = self.deadline.elapsed()
+        pool = self.pool
+        self.stats.pool_sets = len(pool)
+        self.stats.pool_union_hits = pool.union_hits
+        self.stats.pool_union_misses = pool.union_misses
         results = self.results
         if self.config.top_k is not None and len(results) > self.config.top_k:
             results = sorted(results, key=lambda r: (-(r.score or 0.0), r.size))[: self.config.top_k]
@@ -115,8 +137,9 @@ class _BFTRun:
     def _init_trees(self) -> None:
         if any(not seed_set for seed_set in self.explicit_sets):
             return
+        pool = self.pool
         for node, mask in self.seed_mask.items():
-            tree = _BFTTree(frozenset(), frozenset((node,)), mask, 0.0)
+            tree = _BFTTree(pool, pool.EMPTY, frozenset((node,)), 1 << node, mask, 0.0)
             self.stats.init_trees += 1
             self._process(tree, allow_merge=False)
 
@@ -125,34 +148,46 @@ class _BFTRun:
         seed_mask = self.seed_mask
         labels = self.config.labels
         max_edges = self.config.max_edges
+        pool = self.pool
+        memory = self.memory
+        stats = self.stats
+        allow_merge = self.algo.merge_mode != "none"
         while self.queue:
             if self.deadline.expired():
                 raise _StopSearch(timed_out=True)
             tree = self.queue.popleft()
-            if max_edges is not None and len(tree.edges) + 1 > max_edges:
+            if max_edges is not None and tree.size + 1 > max_edges:
                 continue
-            for node in tree.nodes:
+            nodes = tree.nodes
+            sat = tree.sat
+            for node in nodes:
                 for edge_id, other, _ in graph.adjacent_filtered(node, labels):
-                    if other in tree.nodes:  # Grow1
+                    if other in nodes:  # Grow1
                         continue
                     other_mask = seed_mask.get(other, 0)
-                    if other_mask & tree.sat:  # Grow2
+                    if other_mask & sat:  # Grow2
+                        continue
+                    stats.grows += 1
+                    # History check before construction: a duplicate grow
+                    # costs one handle lookup, no sets and no _BFTTree.
+                    eset = pool.union1(tree.eset, edge_id)
+                    if eset in memory:
                         continue
                     grown = _BFTTree(
-                        tree.edges | {edge_id},
-                        tree.nodes | {other},
-                        tree.sat | other_mask,
+                        pool,
+                        eset,
+                        nodes | {other},
+                        tree.node_mask | (1 << other),
+                        sat | other_mask,
                         tree.weight + graph.edge_weight(edge_id),
                     )
-                    self.stats.grows += 1
-                    self._process(grown, allow_merge=self.algo.merge_mode != "none")
+                    self._process(grown, allow_merge=allow_merge)
 
     # ------------------------------------------------------------------
     def _process(self, tree: _BFTTree, allow_merge: bool) -> None:
-        """Register a candidate tree; report/minimize, queue, and merge."""
-        if tree.edges in self.memory and tree.edges:
-            return
-        self.memory.add(tree.edges)
+        """Register a candidate tree (already absent from ``memory``);
+        report/minimize, queue, and merge."""
+        self.memory.add(tree.eset)
         self.stats.trees_kept += 1
         if self.config.max_trees is not None and self.stats.trees_kept > self.config.max_trees:
             raise _StopSearch()
@@ -160,10 +195,10 @@ class _BFTRun:
             self._report(tree)
             return
         self.queue.append(tree)
-        if self.algo.merge_mode != "none" and tree.edges:
+        if self.algo.merge_mode != "none" and tree.eset:
             for node in tree.nodes:
                 self.trees_containing.setdefault(node, []).append(tree)
-        if allow_merge and tree.edges:
+        if allow_merge and tree.eset:
             self._merge(tree, cascade=self.algo.merge_mode == "aggressive")
 
     def _merge(self, tree: _BFTTree, cascade: bool) -> None:
@@ -181,24 +216,36 @@ class _BFTRun:
                     if id(partner) not in seen_ids:
                         seen_ids.add(id(partner))
                         candidates.append(partner)
+            t1_mask = t1.node_mask
+            t1_size = t1.size
             for tp in candidates:
-                if tp is t1 or not tp.edges:
+                if tp is t1 or not tp.eset:
                     continue
                 self.stats.merges_attempted += 1
-                common = t1.nodes & tp.nodes
-                if len(common) != 1:  # Merge1 analogue: share exactly one node
+                common_mask = t1_mask & tp.node_mask
+                # Merge1 analogue: share exactly one node — exact bitmask
+                # popcount-1 test, no set intersection built.
+                if not common_mask or common_mask & (common_mask - 1):
                     continue
-                (shared,) = common
+                shared = common_mask.bit_length() - 1
                 if (t1.sat & tp.sat) & ~self.seed_mask.get(shared, 0):  # Merge2
                     continue
-                if max_edges is not None and len(t1.edges) + len(tp.edges) > max_edges:
+                if max_edges is not None and t1_size + tp.size > max_edges:
                     continue
-                merged = _BFTTree(t1.edges | tp.edges, t1.nodes | tp.nodes, t1.sat | tp.sat, t1.weight + tp.weight)
-                if merged.edges in self.memory:
+                eset = self.pool.union2(t1.eset, tp.eset)
+                if eset in self.memory:
                     self.stats.pruned_history += 1
                     continue
+                merged = _BFTTree(
+                    self.pool,
+                    eset,
+                    t1.nodes | tp.nodes,
+                    t1_mask | tp.node_mask,
+                    t1.sat | tp.sat,
+                    t1.weight + tp.weight,
+                )
                 self.stats.merges += 1
-                self.memory.add(merged.edges)
+                self.memory.add(eset)
                 self.stats.trees_kept += 1
                 if merged.sat == self.full_sat:
                     self._report(merged)
@@ -237,11 +284,13 @@ class _BFTRun:
     def _minimize(self, tree: _BFTTree) -> Tuple[FrozenSet[int], FrozenSet[int], float]:
         """Strip non-seed leaf branches until every leaf is a seed."""
         graph = self.graph
+        edge_endpoints = graph.edge_endpoints
+        tree_edges = tree.edges  # materialize the interned set once
         incident: Dict[int, List[int]] = {node: [] for node in tree.nodes}
-        for edge_id in tree.edges:
-            edge = graph.edge(edge_id)
-            incident[edge.source].append(edge_id)
-            incident[edge.target].append(edge_id)
+        for edge_id in tree_edges:
+            source, target = edge_endpoints(edge_id)
+            incident[source].append(edge_id)
+            incident[target].append(edge_id)
         removed_edges: Set[int] = set()
         removed_nodes: Set[int] = set()
         candidates = deque(
@@ -257,19 +306,21 @@ class _BFTRun:
             (edge_id,) = live
             removed_edges.add(edge_id)
             removed_nodes.add(leaf)
-            other = graph.edge(edge_id).other(leaf)
+            source, target = edge_endpoints(edge_id)
+            other = target if source == leaf else source
             other_live = [e for e in incident[other] if e not in removed_edges]
             if len(other_live) == 1 and other not in self.seed_mask:
                 candidates.append(other)
-        edges = frozenset(e for e in tree.edges if e not in removed_edges)
+        edges = frozenset(e for e in tree_edges if e not in removed_edges)
         nodes = frozenset(n for n in tree.nodes if n not in removed_nodes)
         weight = sum(graph.edge_weight(e) for e in edges)
         return edges, nodes, weight
 
     def _is_arborescence(self, edges: FrozenSet[int], nodes: FrozenSet[int]) -> bool:
         """UNI post-filter: one node reaches all others along edge directions."""
+        edge_target = self.graph.edge_target
         in_deg = {node: 0 for node in nodes}
         for edge_id in edges:
-            in_deg[self.graph.edge(edge_id).target] += 1
+            in_deg[edge_target(edge_id)] += 1
         roots = [node for node, d in in_deg.items() if d == 0]
         return len(roots) == 1 and all(d <= 1 for d in in_deg.values())

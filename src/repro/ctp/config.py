@@ -73,6 +73,12 @@ class SearchConfig:
         passed, ``"csr"`` freezes it into the compressed-sparse-row
         representation first (memoized per graph), ``"auto"`` (default)
         keeps whichever representation the caller provided.
+    interning:
+        Use the hash-consed edge-set pool for tree bookkeeping
+        (:mod:`repro.ctp.interning`; default).  ``False`` falls back to the
+        seed frozenset representation — same results, slower history checks;
+        kept as the baseline of ``python -m repro.bench interning`` and the
+        equivalence suite.
     strict_merge2 (ablation):
         Use the *literal* Merge2 of Section 4.2 — ``sat(t1) ∩ sat(t2) = ∅``
         — instead of the relaxed reading this library argues for (overlap
@@ -97,6 +103,7 @@ class SearchConfig:
     balance_ratio: float = 32.0
     max_trees: Optional[int] = None
     backend: str = "auto"
+    interning: bool = True
     strict_merge2: bool = False
     mo_inject_always: bool = False
 

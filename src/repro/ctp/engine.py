@@ -34,19 +34,39 @@ Faithfulness notes (also summarized in DESIGN.md §1.3):
 * Section 4.9: wildcard (``N``) seed sets contribute no Init trees and are
   satisfied by construction; unbalanced seed sets trigger per-signature
   priority queues, popping from the least-filled queue.
+
+Performance: tree state is *interned* (:mod:`repro.ctp.interning`) — edge
+sets are hash-consed handles, node sets carry exact bitmasks, merge
+partners are bucketed by sat mask, and balanced pops use a lazy size heap.
+Both the UNI filter and the Algorithm 4 history check run *before* a
+grown/merged tree is constructed, so pruned candidates cost a few int
+lookups and no allocation.  ``SearchConfig(interning=False)`` restores the
+seed frozenset bookkeeping (the A/B baseline of ``python -m repro.bench
+interning``); both representations produce byte-identical result sets and
+counters (see ``tests/test_interning_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import heapq
+import operator
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro._util import Counter, Deadline, full_mask, popcount
 from repro.ctp.config import DEFAULT_CONFIG, WILDCARD, SearchConfig
+from repro.ctp.interning import make_pool
 from repro.ctp.results import CTPResultSet, ResultTree
 from repro.ctp.stats import SearchStats
-from repro.ctp.tree import SearchTree, make_grow, make_init, make_merge, make_mo
+from repro.ctp.tree import (
+    SearchTree,
+    make_grow,
+    make_init,
+    make_merge,
+    make_mo,
+    uni_grow_state,
+    uni_merge_state,
+)
 from repro.errors import SearchError
 from repro.graph.backend import resolve_backend
 from repro.graph.graph import Graph
@@ -57,6 +77,11 @@ class _StopSearch(Exception):
 
     def __init__(self, timed_out: bool = False):
         self.timed_out = timed_out
+
+
+#: Sort key for re-assembling merge partners from several sat buckets in
+#: their global registration order.
+_tree_seq = operator.attrgetter("seq")
 
 
 def normalize_seed_sets(graph: Graph, seed_sets: Sequence) -> Tuple[List[Optional[Tuple[int, ...]]], List[int]]:
@@ -130,12 +155,24 @@ class _GAMRun:
         for bit, nodes in enumerate(self.explicit_sets):
             for node in nodes:
                 self.seed_mask[node] = self.seed_mask.get(node, 0) | (1 << bit)
+        # --- interned tree state (edge-set pool, see repro.ctp.interning) ---
+        self.pool = make_pool(config.interning)
         # --- search state (Algorithms 1-5 globals) ---
-        self.hist: Set[FrozenSet[int]] = set()  # edge-set history (ESP)
-        self.rooted_keys: Set[Tuple[int, FrozenSet[int]]] = set()  # rooted-tree history (GAM / LESP)
-        self.trees_rooted_in: Dict[int, List[SearchTree]] = {}
+        # History structures are keyed by pool handles: ints under the
+        # interning pool (O(1) hashing), frozensets under the fallback.
+        self.hist: Set = set()  # edge-set history (ESP)
+        self.rooted_keys: Set[Tuple[int, object]] = set()  # rooted-tree history (GAM / LESP)
+        #: Merge-partner index.  Interned mode: root -> sat mask -> trees,
+        #: so a cascade step skips Merge2-incompatible partners one bucket
+        #: at a time instead of testing them one tree at a time (global
+        #: insertion order is restored from the per-tree ``seq`` tickets
+        #: when several buckets are compatible).  Fallback mode
+        #: (``interning=False``): root -> flat list, the seed's linear scan.
+        self.interned = config.interning
+        self.trees_rooted_in: Dict[int, object] = {}
+        self._seq = 0
         self.ss: Dict[int, int] = {}  # seed signatures (Section 4.6)
-        self.result_keys: Set[FrozenSet[int]] = set()
+        self.result_keys: Set = set()
         self.results: List[ResultTree] = []
         self.counter = Counter()
         self.deadline = Deadline(config.timeout)
@@ -146,6 +183,13 @@ class _GAMRun:
         self.queues: Dict[int, list] = {}
         self.total_queued = 0
         self.priority = self._priority_function()
+        # Balanced mode (Section 4.9 (ii)) picks the least-filled queue per
+        # pop.  Scanning every queue per pop is O(q); instead queue sizes
+        # are cached and a lazy heap of (size, key) entries serves the
+        # minimum in O(log q) amortized (stale entries are discarded on
+        # sight — counted by stats.balanced_pop_scans).
+        self._queue_sizes: Dict[int, int] = {}
+        self._size_heap: List[Tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     # setup helpers
@@ -183,6 +227,10 @@ class _GAMRun:
             complete = False
             self.timed_out = stop.timed_out
         self.stats.elapsed_seconds = self.deadline.elapsed()
+        pool = self.pool
+        self.stats.pool_sets = len(pool)
+        self.stats.pool_union_hits = pool.union_hits
+        self.stats.pool_union_misses = pool.union_misses
         results = self._final_results()
         return CTPResultSet(
             results=results,
@@ -197,7 +245,7 @@ class _GAMRun:
             return  # an empty seed set has no embeddings, hence no results
         uni = self.config.uni
         for node, mask in self.seed_mask.items():
-            tree = make_init(node, mask, uni)
+            tree = make_init(self.pool, node, mask, uni)
             self.stats.init_trees += 1
             self.ss[node] = self.ss.get(node, 0) | mask
             work = self._absorb(tree, gained=True)
@@ -209,11 +257,35 @@ class _GAMRun:
         graph = self.graph
         seed_mask = self.seed_mask
         uni = self.config.uni
+        pool = self.pool
+        stats = self.stats
+        ss = self.ss
         while self.total_queued:
             if deadline.expired():
                 raise _StopSearch(timed_out=True)
             entry = self._pop()
             _, _, tree, edge_id, other, outgoing = entry
+            stats.grows += 1
+            # The UNI filter and the history check both precede tree
+            # construction: a rejected Grow costs a couple of int lookups,
+            # no frozenset and no SearchTree (the interning layer's point).
+            uni_state = None
+            if uni:
+                uni_state = uni_grow_state(tree, other, outgoing)
+                if uni_state is None:
+                    stats.pruned_filters += 1
+                    continue
+            # Algorithm 1 line 10: update the seed signature of the new root
+            # before any pruning decision.  The grown tree is an (n, s)-
+            # rooted path iff the source tree was one and ``other`` is not
+            # itself a seed (Definition 4.4).
+            path_seed = tree.path_seed if other not in seed_mask else None
+            if path_seed is not None:
+                ss[other] = ss.get(other, 0) | seed_mask[path_seed]
+            eset = pool.union1(tree.eset, edge_id)
+            if not self._is_new_rooted(other, eset):
+                stats.pruned_history += 1
+                continue
             grown = make_grow(
                 tree,
                 edge_id,
@@ -223,18 +295,9 @@ class _GAMRun:
                 graph.edge_weight(edge_id),
                 outgoing,
                 uni,
+                eset=eset,
+                uni_state=uni_state,
             )
-            self.stats.grows += 1
-            if grown is None:  # UNI filter rejected the direction
-                self.stats.pruned_filters += 1
-                continue
-            # Algorithm 1 line 10: update the seed signature of the new root
-            # before any pruning decision.
-            if grown.path_seed is not None:
-                self.ss[grown.root] = self.ss.get(grown.root, 0) | seed_mask[grown.path_seed]
-            if not self._is_new(grown):
-                self.stats.pruned_history += 1
-                continue
             work = self._absorb(grown, gained=grown.sat != tree.sat)
             if work:
                 self._merge_cascade(deque(work))
@@ -256,27 +319,55 @@ class _GAMRun:
         seed_mask = self.seed_mask
         nodes = tree.nodes
         sat = tree.sat
-        queue = self.queues.setdefault(self._queue_key(tree), [])
+        key = self._queue_key(tree)
+        queue = self.queues.setdefault(key, [])
         priority = self.priority(tree)
+        pushed = 0
         for edge_id, other, outgoing in graph.adjacent_filtered(tree.root, labels):
             if other in nodes:  # Grow1
                 continue
             if seed_mask.get(other, 0) & sat:  # Grow2
                 continue
             heapq.heappush(queue, (priority, self.counter.next(), tree, edge_id, other, outgoing))
-            self.total_queued += 1
-            self.stats.queue_pushes += 1
+            pushed += 1
+        if pushed:
+            self.total_queued += pushed
+            self.stats.queue_pushes += pushed
+            if self.balanced and self.interned:
+                size = self._queue_sizes.get(key, 0) + pushed
+                self._queue_sizes[key] = size
+                heapq.heappush(self._size_heap, (size, key))
 
     def _pop(self):
-        if self.balanced:
+        if not self.balanced:
+            queue = self.queues[0]
+        elif self.interned:
             # Grow from the least-filled non-empty queue (Section 4.9).
+            # The lazy size heap serves min-by-(size, key); entries whose
+            # recorded size is stale are discarded on sight.
+            size_heap = self._size_heap
+            sizes = self._queue_sizes
+            scans = 0
+            while True:
+                scans += 1
+                size, key = size_heap[0]
+                if sizes[key] == size:
+                    break
+                heapq.heappop(size_heap)
+            self.stats.balanced_pop_scans += scans
+            heapq.heappop(size_heap)  # consume the entry we matched
+            sizes[key] = size - 1
+            if size > 1:
+                heapq.heappush(size_heap, (size - 1, key))
+            queue = self.queues[key]
+        else:
+            # Seed bookkeeping: re-scan every queue on every pop.
             key = min(
                 (k for k, q in self.queues.items() if q),
                 key=lambda k: (len(self.queues[k]), k),
             )
+            self.stats.balanced_pop_scans += len(self.queues)
             queue = self.queues[key]
-        else:
-            queue = self.queues[0]
         self.total_queued -= 1
         return heapq.heappop(queue)
 
@@ -284,19 +375,27 @@ class _GAMRun:
     # pruning (Algorithm 4: isNew)
     # ------------------------------------------------------------------
     def _is_new(self, tree: SearchTree) -> bool:
-        if not tree.edges:
+        return self._is_new_rooted(tree.root, tree.eset)
+
+    def _is_new_rooted(self, root: int, eset) -> bool:
+        """Algorithm 4 on the *identity* of a rooted tree.
+
+        Takes the (root, edge-set handle) pair rather than a built tree so
+        the engine can prune before constructing anything.
+        """
+        if not eset:
             # ESP never discards an empty edge set (Definition 4.3).
-            return tree.rooted_key() not in self.rooted_keys
+            return (root, eset) not in self.rooted_keys
         if not self.algo.edge_set_pruning:
-            return tree.rooted_key() not in self.rooted_keys
-        if tree.edges not in self.hist:
+            return (root, eset) not in self.rooted_keys
+        if eset not in self.hist:
             return True
         if self.algo.lesp_guard:
-            signature = self.ss.get(tree.root, 0)
+            signature = self.ss.get(root, 0)
             if (
                 popcount(signature) >= 3
-                and self.graph.degree(tree.root) >= 3
-                and tree.rooted_key() not in self.rooted_keys
+                and self.graph.degree(root) >= 3
+                and (root, eset) not in self.rooted_keys
             ):
                 return True
         return False
@@ -313,7 +412,7 @@ class _GAMRun:
         opportunities queued unless their provenance contains Mo.
         """
         if self.algo.edge_set_pruning:
-            self.hist.add(tree.edges)
+            self.hist.add(tree.eset)
         self.rooted_keys.add(tree.rooted_key())
         self.stats.trees_kept += 1
         if self.config.max_trees is not None and self.stats.trees_kept > self.config.max_trees:
@@ -326,32 +425,52 @@ class _GAMRun:
             # valid match, so a covering tree is a result *and* every
             # extension of it yields further results — keep exploring.
         work = [tree]
-        if tree.edges:
-            self.trees_rooted_in.setdefault(tree.root, []).append(tree)
+        if tree.eset:
+            self._index_partner(tree)
             if self.algo.mo_trees and (gained or self.config.mo_inject_always):
                 work.extend(self._inject_mo_copies(tree))
         if not tree.mo_tainted:
             self._push_grows(tree)
         return work
 
+    def _index_partner(self, tree: SearchTree) -> None:
+        """File ``tree`` in the root -> sat bucket index with a seq ticket."""
+        if not self.interned:  # seed layout: flat list per root
+            self.trees_rooted_in.setdefault(tree.root, []).append(tree)
+            return
+        tree.seq = self._seq
+        self._seq += 1
+        buckets = self.trees_rooted_in.get(tree.root)
+        if buckets is None:
+            buckets = self.trees_rooted_in[tree.root] = {}
+        bucket = buckets.get(tree.sat)
+        if bucket is None:
+            buckets[tree.sat] = [tree]
+        else:
+            bucket.append(tree)
+
     def _inject_mo_copies(self, tree: SearchTree) -> List[SearchTree]:
         """Algorithm 3 lines 2-5: re-root the tree at each contained seed."""
         copies = []
         seed_mask = self.seed_mask
+        uni = self.config.uni
+        edges = tree.edges if uni else ()  # materialized once, interned
+        edge_target = self.graph.edge_target
         for node in tree.nodes:
             if node == tree.root or node not in seed_mask:
                 continue
-            key = (node, tree.edges)
+            key = (node, tree.eset)
             if key in self.rooted_keys:
                 continue  # an identical rooted tree already exists
             in_deg = 0
-            if self.config.uni:
-                graph = self.graph
-                in_deg = sum(1 for e in tree.edges if graph.edge(e).target == node)
+            if uni:
+                # In-degree of the seed inside the tree, read off the
+                # backend's flat endpoint columns (no Edge objects).
+                in_deg = sum(1 for e in edges if edge_target(e) == node)
             copy = make_mo(tree, node, in_deg)
             self.stats.mo_copies += 1
             self.rooted_keys.add(key)
-            self.trees_rooted_in.setdefault(node, []).append(copy)
+            self._index_partner(copy)
             copies.append(copy)
         return copies
 
@@ -363,38 +482,97 @@ class _GAMRun:
         uni = config.uni
         max_edges = config.max_edges
         seed_mask = self.seed_mask
+        stats = self.stats
+        interned = self.interned
+        pool = self.pool
         while work:
             if self.deadline.expired():
                 raise _StopSearch(timed_out=True)
             t1 = work.popleft()
-            if not t1.edges:  # merging with a one-node tree is a no-op
+            if not t1.eset:  # merging with a one-node tree is a no-op
                 continue
-            partners = self.trees_rooted_in.get(t1.root)
-            if not partners:
+            index = self.trees_rooted_in.get(t1.root)
+            if not index:
                 continue
             root_mask = 0 if config.strict_merge2 else seed_mask.get(t1.root, 0)
-            for tp in list(partners):
+            sat = t1.sat
+            if interned:
+                # Merge2 (relaxed, see module docstring): overlapping seed
+                # sets are only allowed through the shared root (under
+                # strict_merge2, any overlap blocks).  The condition depends
+                # only on the partner's sat mask, so whole buckets are
+                # skipped at once.
+                if len(index) == 1:
+                    # Single-sat root (the common case on sparse graphs):
+                    # one compatibility test, no bucket assembly at all.
+                    bucket_sat, bucket = next(iter(index.items()))
+                    if (sat & bucket_sat) & ~root_mask:
+                        stats.merge_buckets_skipped += 1
+                        continue
+                    partners = bucket
+                else:
+                    compat = [
+                        bucket
+                        for bucket_sat, bucket in index.items()
+                        if not (sat & bucket_sat) & ~root_mask
+                    ]
+                    stats.merge_buckets_skipped += len(index) - len(compat)
+                    if not compat:
+                        continue
+                    if len(compat) == 1:
+                        # One compatible bucket: iterate it in place, bounded
+                        # by its current length — absorbed merges may append
+                        # behind us, exactly as they fell outside the seed's
+                        # snapshot copy.
+                        partners = compat[0]
+                    else:
+                        # Several compatible buckets: concatenate and restore
+                        # the global insertion order the seed iterated in
+                        # (near-sorted runs, timsort merges them in ~linear
+                        # time).
+                        partners = [tree for bucket in compat for tree in bucket]
+                        partners.sort(key=_tree_seq)
+            else:
+                partners = list(index)  # the seed's snapshot copy
+            length = len(partners)
+            node_mask = t1.node_mask
+            root = t1.root
+            root_bit = 1 << root
+            t1_eset = t1.eset
+            t1_size = t1.size
+            for i in range(length):
+                tp = partners[i]
                 if tp is t1:
                     continue
-                self.stats.merges_attempted += 1
-                # Merge2 (relaxed, see module docstring): overlapping seed
-                # sets are only allowed through the shared root.  Under the
-                # strict_merge2 ablation, any overlap blocks the merge.
-                if (t1.sat & tp.sat) & ~root_mask:
+                stats.merges_attempted += 1
+                if interned:
+                    # Merge1: the trees share exactly the root.  Exact
+                    # bitmask test — nothing materialized for rejections.
+                    if node_mask & tp.node_mask != root_bit:
+                        continue
+                else:
+                    # Seed bookkeeping: per-partner Merge2, then Merge1 by
+                    # node-set intersection.
+                    if (sat & tp.sat) & ~root_mask:
+                        continue
+                    if len(t1.nodes & tp.nodes) != 1:
+                        continue
+                if max_edges is not None and t1_size + tp.size > max_edges:
                     continue
-                # Merge1: the trees share exactly the root.
-                if len(t1.nodes & tp.nodes) != 1:
+                # UNI filter and history check both precede construction —
+                # a pruned merge never materializes a set or a SearchTree.
+                uni_state = None
+                if uni:
+                    uni_state = uni_merge_state(t1, tp)
+                    if uni_state is None:
+                        stats.pruned_filters += 1
+                        continue
+                eset = pool.union2(t1_eset, tp.eset)
+                if not self._is_new_rooted(root, eset):
+                    stats.pruned_history += 1
                     continue
-                if max_edges is not None and t1.size + tp.size > max_edges:
-                    continue
-                merged = make_merge(t1, tp, uni)
-                if merged is None:
-                    self.stats.pruned_filters += 1
-                    continue
-                if not self._is_new(merged):
-                    self.stats.pruned_history += 1
-                    continue
-                self.stats.merges += 1
+                merged = make_merge(t1, tp, uni, eset=eset, uni_state=uni_state)
+                stats.merges += 1
                 gained = merged.sat != t1.sat and merged.sat != tp.sat
                 work.extend(self._absorb(merged, gained))
 
@@ -410,10 +588,10 @@ class _GAMRun:
             # check lives only on this ablation path.
             self.stats.pruned_filters += 1
             return
-        if tree.edges in self.result_keys:
+        if tree.eset in self.result_keys:
             self.stats.duplicate_results += 1
             return
-        self.result_keys.add(tree.edges)
+        self.result_keys.add(tree.eset)
         seeds: List[Optional[int]] = [None] * len(self.positions)
         for position in self.wildcard_positions:
             # The N match is the tree's only possibly-non-seed leaf: the root.
@@ -434,14 +612,14 @@ class _GAMRun:
 
     def _is_minimal(self, tree: SearchTree) -> bool:
         """Every leaf is a seed (wildcard trees may keep the root free)."""
-        if not tree.edges:
+        if not tree.eset:
             return True
         degrees: Dict[int, int] = {}
-        graph = self.graph
+        edge_endpoints = self.graph.edge_endpoints
         for edge_id in tree.edges:
-            edge = graph.edge(edge_id)
-            degrees[edge.source] = degrees.get(edge.source, 0) + 1
-            degrees[edge.target] = degrees.get(edge.target, 0) + 1
+            source, target = edge_endpoints(edge_id)
+            degrees[source] = degrees.get(source, 0) + 1
+            degrees[target] = degrees.get(target, 0) + 1
         allowed_free = 1 if self.wildcard_positions else 0
         free = 0
         for node, degree in degrees.items():

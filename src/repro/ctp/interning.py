@@ -1,0 +1,333 @@
+"""Interned tree state: hash-consed edge sets with Zobrist fingerprints.
+
+PR 1 made adjacency cheap; after it, the GAM-family engines (Sections
+4.2-4.7 of the paper) spend their time on *tree bookkeeping*: every Grow /
+Merge builds a fresh ``frozenset`` of edge ids, and every history check
+(``hist`` / ``rooted_keys`` / ``result_keys`` in Algorithm 4) re-hashes
+those sets from scratch — O(|tree|) per event, on sets that are heavily
+shared between trees.
+
+:class:`EdgeSetPool` removes that cost by *hash-consing*: each distinct
+edge set is interned once and identified by a stable small-int handle.
+The two hot constructors are memoized —
+
+``union1(set_id, edge_id)``
+    the Grow step (add one edge);
+
+``union2(id1, id2)``
+    the Merge step (union two sets);
+
+— so rebuilding a set the search has already produced is a single dict
+lookup, and *membership* of a set in any history structure is an int
+lookup instead of an O(|tree|) frozenset hash.  Each set carries a
+deterministic Zobrist-style fingerprint (XOR of per-edge 64-bit codes from
+a splitmix64 stream) so interning a newly materialized union needs no
+re-hash of the frozenset in the common no-collision case; fingerprint
+collisions are resolved exactly by set comparison, never silently.
+
+Handles are engine-local: every search run owns one pool, ids from
+different pools are unrelated (see the isolation property tests).  The
+``EMPTY`` handle is 0 — deliberately falsy, mirroring ``frozenset()``
+truthiness, so engine code can say ``if tree.eset:`` under either
+representation.
+
+:class:`FrozenEdgeSets` is the identity-shim counterpart used when
+``SearchConfig(interning=False)``: handles *are* frozensets and every
+operation is the seed implementation's frozenset arithmetic.  It exists so
+the engines keep a single code path and so the micro-bench
+(``python -m repro.bench interning``) can measure exactly what the pool
+buys on identical workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple, Union
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(index: int) -> int:
+    """The splitmix64 mix of ``index`` — the per-edge Zobrist code stream.
+
+    Deterministic (no process-level randomness), well-distributed, and
+    cheap to extend to any edge id on demand.
+    """
+    x = (index * 0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class EdgeSetPool:
+    """Hash-consing pool assigning small-int handles to edge sets.
+
+    Invariants:
+
+    * handle 0 is the empty set (``EMPTY``), so handles are falsy exactly
+      when the set is empty;
+    * interning is *exact* — two handles are equal iff the sets are equal
+      (fingerprint collisions fall back to set comparison);
+    * ``union1``/``union2`` accept any operands (overlap included); the
+      disjointness the engines guarantee (Grow never re-adds a tree edge,
+      Merge1 operands share only the root) only makes the memoized fast
+      path cheaper, it is not a correctness requirement.
+    """
+
+    EMPTY = 0
+
+    #: Memo/bucket keys are packed into single ints (``a << SHIFT | b``)
+    #: instead of tuples — one small-int hash beats a tuple allocation in
+    #: the hot constructors.  Handles and edge ids must stay below 2**32;
+    #: an in-memory pool hits RAM limits orders of magnitude earlier.
+    _SHIFT = 32
+
+    __slots__ = (
+        "_recs",
+        "_by_key",
+        "_union1",
+        "_union2",
+        "_zobrist",
+        "union_hits",
+        "collisions",
+    )
+
+    def __init__(self) -> None:
+        #: Per-handle record ``(edges, fingerprint, size)`` — fused into
+        #: one list so the hot constructors do a single index per operand.
+        self._recs: List[Tuple[FrozenSet[int], int, int]] = [(frozenset(), 0, 0)]
+        #: packed (fingerprint, size) -> handle, or list of handles when
+        #: distinct sets collide on the full 64-bit fingerprint.
+        self._by_key: Dict[int, Union[int, List[int]]] = {0: 0}
+        self._union1: Dict[int, int] = {}
+        self._union2: Dict[int, int] = {}
+        self._zobrist: List[int] = []
+        self.union_hits = 0
+        self.collisions = 0
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def edges(self, set_id: int) -> FrozenSet[int]:
+        """The interned set behind ``set_id`` (shared, do not mutate)."""
+        return self._recs[set_id][0]
+
+    def size(self, set_id: int) -> int:
+        return self._recs[set_id][2]
+
+    def fingerprint(self, set_id: int) -> int:
+        """The 64-bit Zobrist fingerprint (XOR of per-edge codes)."""
+        return self._recs[set_id][1]
+
+    @property
+    def union_misses(self) -> int:
+        """Memo misses so far — every miss files exactly one memo entry,
+        so the count is the combined memo size (no hot-path counter)."""
+        return len(self._union1) + len(self._union2)
+
+    def __len__(self) -> int:
+        """Number of distinct edge sets interned so far."""
+        return len(self._recs)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _code(self, edge_id: int) -> int:
+        codes = self._zobrist
+        if edge_id >= len(codes):
+            # Extend geometrically: ids usually arrive in near-increasing
+            # order, and one big extend amortizes the generator setup.
+            target = max(edge_id + 1, 2 * len(codes), 64)
+            codes.extend(splitmix64(i) for i in range(len(codes), target))
+        return codes[edge_id]
+
+    def _intern(self, edges: FrozenSet[int], fp: int, size: int) -> int:
+        """Exact interning of a *materialized* set (slow path)."""
+        bkey = (fp << self._SHIFT) | size
+        existing = self._by_key.get(bkey)
+        if existing is None:
+            set_id = self._new_id(edges, fp, size)
+            self._by_key[bkey] = set_id
+            return set_id
+        if isinstance(existing, int):
+            if self._recs[existing][0] == edges:
+                return existing
+            # Genuine 64-bit fingerprint collision: resolve exactly.
+            self.collisions += 1
+            set_id = self._new_id(edges, fp, size)
+            self._by_key[bkey] = [existing, set_id]
+            return set_id
+        for candidate in existing:
+            if self._recs[candidate][0] == edges:
+                return candidate
+        self.collisions += 1
+        set_id = self._new_id(edges, fp, size)
+        existing.append(set_id)
+        return set_id
+
+    def _new_id(self, edges: FrozenSet[int], fp: int, size: int) -> int:
+        recs = self._recs
+        set_id = len(recs)
+        recs.append((edges, fp, size))
+        return set_id
+
+    def intern(self, edge_ids: Iterable[int]) -> int:
+        """Intern an arbitrary edge collection; returns its handle."""
+        edges = frozenset(edge_ids)
+        fp = 0
+        for edge_id in edges:
+            fp ^= self._code(edge_id)
+        return self._intern(edges, fp, len(edges))
+
+    def union1(self, set_id: int, edge_id: int) -> int:
+        """Handle of ``set(set_id) | {edge_id}`` — the memoized Grow step.
+
+        Miss-path discipline: the result's fingerprint is one XOR away, so
+        a set the pool has *already interned* (reached through a different
+        Grow/Merge path) is found by fingerprint and verified with
+        allocation-free subset checks — no union is built, nothing is
+        re-hashed.  Only genuinely new sets are materialized.
+        """
+        key = (set_id << self._SHIFT) | edge_id
+        memo = self._union1
+        out = memo.get(key)
+        if out is not None:
+            self.union_hits += 1
+            return out
+        recs = self._recs
+        base, base_fp, base_size = recs[set_id]
+        if edge_id in base:
+            memo[key] = set_id
+            return set_id
+        codes = self._zobrist
+        if edge_id >= len(codes):
+            self._code(edge_id)
+        fp = base_fp ^ codes[edge_id]
+        size = base_size + 1
+        bkey = (fp << self._SHIFT) | size
+        existing = self._by_key.get(bkey)
+        out = None
+        if existing is not None:
+            # Verified candidate: base ⊆ c ∧ e ∈ c ∧ |c| = |base|+1 ⟹
+            # c = base ∪ {e}, without materializing the union.
+            if type(existing) is int:
+                candidate_set = recs[existing][0]
+                if edge_id in candidate_set and base <= candidate_set:
+                    out = existing
+            else:
+                for candidate in existing:
+                    candidate_set = recs[candidate][0]
+                    if edge_id in candidate_set and base <= candidate_set:
+                        out = candidate
+                        break
+        if out is None:
+            out = self._store_new(base | {edge_id}, fp, size, bkey, existing)
+        memo[key] = out
+        return out
+
+    def union2(self, id1: int, id2: int) -> int:
+        """Handle of the union of two interned sets — the memoized Merge.
+
+        Same miss-path discipline as :meth:`union1`: for disjoint operands
+        (what Merge1 hands us) the union's fingerprint is ``fp1 ^ fp2``,
+        and an already-interned result is recognized by two subset checks
+        instead of building and hashing a frozenset.
+        """
+        if id1 == id2:
+            return id1
+        if id1 > id2:
+            id1, id2 = id2, id1
+        if not id1:  # union with the empty set
+            return id2
+        key = (id1 << self._SHIFT) | id2
+        memo = self._union2
+        out = memo.get(key)
+        if out is not None:
+            self.union_hits += 1
+            return out
+        recs = self._recs
+        a, a_fp, a_size = recs[id1]
+        b, b_fp, b_size = recs[id2]
+        if a.isdisjoint(b):
+            fp = a_fp ^ b_fp
+            size = a_size + b_size
+            bkey = (fp << self._SHIFT) | size
+            existing = self._by_key.get(bkey)
+            out = None
+            if existing is not None:
+                # a ⊆ c ∧ b ⊆ c ∧ |c| = |a|+|b| (disjoint) ⟹ c = a ∪ b.
+                if type(existing) is int:
+                    candidate_set = recs[existing][0]
+                    if a <= candidate_set and b <= candidate_set:
+                        out = existing
+                else:
+                    for candidate in existing:
+                        candidate_set = recs[candidate][0]
+                        if a <= candidate_set and b <= candidate_set:
+                            out = candidate
+                            break
+            if out is None:
+                out = self._store_new(a | b, fp, size, bkey, existing)
+        else:
+            # Overlapping operands (never produced by the engines' Merge1,
+            # but the pool stays total): XOR cancelled the shared edges
+            # twice; fold them back in and intern the materialized union.
+            edges = a | b
+            fp = a_fp ^ b_fp
+            for edge_id in a & b:
+                fp ^= self._code(edge_id)
+            out = self._intern(edges, fp, len(edges))
+        memo[key] = out
+        return out
+
+    def _store_new(self, edges: FrozenSet[int], fp: int, size: int, bkey: int, existing) -> int:
+        """Register a set that failed candidate verification under ``bkey``."""
+        set_id = self._new_id(edges, fp, size)
+        if existing is None:
+            self._by_key[bkey] = set_id
+        elif isinstance(existing, int):
+            self.collisions += 1
+            self._by_key[bkey] = [existing, set_id]
+        else:
+            self.collisions += 1
+            existing.append(set_id)
+        return set_id
+
+
+class FrozenEdgeSets:
+    """The identity pool: handles *are* frozensets (the seed representation).
+
+    Selected with ``SearchConfig(interning=False)``; used as the baseline of
+    the interning micro-bench and the live half of the equivalence suite.
+    """
+
+    EMPTY: FrozenSet[int] = frozenset()
+
+    __slots__ = ("union_hits", "union_misses", "collisions")
+
+    def __init__(self) -> None:
+        self.union_hits = 0
+        self.union_misses = 0
+        self.collisions = 0
+
+    def edges(self, set_id: FrozenSet[int]) -> FrozenSet[int]:
+        return set_id
+
+    def size(self, set_id: FrozenSet[int]) -> int:
+        return len(set_id)
+
+    def __len__(self) -> int:
+        return 0  # nothing is interned
+
+    def intern(self, edge_ids: Iterable[int]) -> FrozenSet[int]:
+        return frozenset(edge_ids)
+
+    def union1(self, set_id: FrozenSet[int], edge_id: int) -> FrozenSet[int]:
+        return set_id | {edge_id}
+
+    def union2(self, id1: FrozenSet[int], id2: FrozenSet[int]) -> FrozenSet[int]:
+        return id1 | id2
+
+
+def make_pool(interning: bool):
+    """The pool implementation for a run: interned or frozenset fallback."""
+    return EdgeSetPool() if interning else FrozenEdgeSets()

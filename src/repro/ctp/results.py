@@ -79,11 +79,12 @@ class CTPResultSet:
 
 def tree_leaves(graph: Graph, edges: FrozenSet[int]) -> List[int]:
     """Nodes adjacent to exactly one edge of ``edges`` (Observation 1)."""
+    edge_endpoints = graph.edge_endpoints
     degree: Dict[int, int] = {}
     for edge_id in edges:
-        edge = graph.edge(edge_id)
-        degree[edge.source] = degree.get(edge.source, 0) + 1
-        degree[edge.target] = degree.get(edge.target, 0) + 1
+        source, target = edge_endpoints(edge_id)
+        degree[source] = degree.get(source, 0) + 1
+        degree[target] = degree.get(target, 0) + 1
     return [node for node, d in degree.items() if d == 1]
 
 
@@ -91,11 +92,12 @@ def is_tree(graph: Graph, edges: FrozenSet[int]) -> bool:
     """True when ``edges`` form a connected acyclic subgraph."""
     if not edges:
         return True
+    edge_endpoints = graph.edge_endpoints
     nodes = set()
     for edge_id in edges:
-        edge = graph.edge(edge_id)
-        nodes.add(edge.source)
-        nodes.add(edge.target)
+        source, target = edge_endpoints(edge_id)
+        nodes.add(source)
+        nodes.add(target)
     if len(nodes) != len(edges) + 1:
         return False
     # connectivity by union-find
@@ -109,8 +111,8 @@ def is_tree(graph: Graph, edges: FrozenSet[int]) -> bool:
 
     components = len(nodes)
     for edge_id in edges:
-        edge = graph.edge(edge_id)
-        ra, rb = find(edge.source), find(edge.target)
+        source, target = edge_endpoints(edge_id)
+        ra, rb = find(source), find(target)
         if ra == rb:
             return False
         parent[ra] = rb

@@ -28,6 +28,19 @@ class SearchStats:
     queue_pushes: int = 0
     results_found: int = 0
     duplicate_results: int = 0
+    #: Whole sat buckets of merge partners skipped per Merge2 (the indexed
+    #: TreesRootedIn of the interning layer); each skip avoids scanning
+    #: every tree in the bucket.
+    merge_buckets_skipped: int = 0
+    #: Queue-size probes made by balanced-queue pops (Section 4.9 (ii)):
+    #: lazy size-heap entries examined under interning, full per-pop queue
+    #: scans under the ``interning=False`` fallback.
+    balanced_pop_scans: int = 0
+    #: Edge-set pool telemetry (repro.ctp.interning): distinct sets interned
+    #: and memoized-union hit/miss counts.  All zero under interning=False.
+    pool_sets: int = 0
+    pool_union_hits: int = 0
+    pool_union_misses: int = 0
     elapsed_seconds: float = 0.0
 
     @property
@@ -48,6 +61,11 @@ class SearchStats:
             "queue_pushes": self.queue_pushes,
             "results_found": self.results_found,
             "duplicate_results": self.duplicate_results,
+            "merge_buckets_skipped": self.merge_buckets_skipped,
+            "balanced_pop_scans": self.balanced_pop_scans,
+            "pool_sets": self.pool_sets,
+            "pool_union_hits": self.pool_union_hits,
+            "pool_union_misses": self.pool_union_misses,
             "provenances": self.provenances,
             "elapsed_seconds": self.elapsed_seconds,
         }

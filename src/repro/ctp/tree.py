@@ -4,6 +4,25 @@ A :class:`SearchTree` is immutable.  Besides the rooted tree itself (root +
 edge set + node set) it carries the derived state every algorithm in the GAM
 family needs in its hot path:
 
+``eset``
+    the tree's edge set as a pool handle (:mod:`repro.ctp.interning`): a
+    small int under the hash-consing pool, a plain ``frozenset`` under the
+    ``interning=False`` fallback.  Handles are falsy exactly when the set
+    is empty, and equal iff the edge sets are equal, so history membership
+    (Algorithm 4) is an O(1) lookup.  ``edges`` materializes the actual
+    frozenset (free: the pool stores it interned);
+
+``node_mask``
+    the node set as an exact bitmask (bit ``n`` set iff node ``n`` is in
+    the tree).  Merge1 — "the trees share exactly their root" — becomes
+    ``t1.node_mask & t2.node_mask == 1 << root``, a big-int test that
+    rejects incompatible partners before any set is built.  The mask is
+    sized by the largest node id in the tree (Python big-int words), so
+    the test is O(max_id/64) rather than truly O(1): cheap and
+    allocation-free up to ~10^5-node graphs, but a dense node-id remap or
+    hashed fingerprint should replace it before million-node graphs (see
+    ROADMAP);
+
 ``sat``
     bitmask of the seed sets satisfied by the tree (Observation 1);
 
@@ -21,6 +40,12 @@ family needs in its hot path:
     path reaches every other node; both fields are maintained in O(1) per
     Grow/Merge.
 
+``seq``
+    registration ticket assigned by the engine when the tree enters
+    ``TreesRootedIn``; it restores global insertion order when merge
+    partners are re-assembled from several sat buckets.  Engine-owned
+    bookkeeping, not part of the tree's identity.
+
 Construction goes through :func:`make_init`, :func:`make_grow`,
 :func:`make_merge` and :func:`make_mo`; the *semantic* pre-conditions
 (Grow1/Grow2, Merge1/Merge2, filters) are the engine's responsibility, while
@@ -30,7 +55,7 @@ tree shape.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional
+from typing import FrozenSet, Optional, Tuple
 
 #: Provenance kinds (Definition 4.1 plus the Mo step of Section 4.5).
 INIT, GROW, MERGE, MO = "init", "grow", "merge", "mo"
@@ -40,9 +65,11 @@ class SearchTree:
     """An immutable rooted tree built during CTP search."""
 
     __slots__ = (
+        "pool",
         "root",
-        "edges",
+        "eset",
         "nodes",
+        "node_mask",
         "sat",
         "weight",
         "kind",
@@ -50,13 +77,16 @@ class SearchTree:
         "path_seed",
         "arb_root",
         "root_in_deg",
+        "seq",
     )
 
     def __init__(
         self,
+        pool,
         root: int,
-        edges: FrozenSet[int],
+        eset,
         nodes: FrozenSet[int],
+        node_mask: int,
         sat: int,
         weight: float,
         kind: str,
@@ -65,9 +95,11 @@ class SearchTree:
         arb_root: Optional[int],
         root_in_deg: int,
     ):
+        self.pool = pool
         self.root = root
-        self.edges = edges
+        self.eset = eset
         self.nodes = nodes
+        self.node_mask = node_mask
         self.sat = sat
         self.weight = weight
         self.kind = kind
@@ -75,15 +107,21 @@ class SearchTree:
         self.path_seed = path_seed
         self.arb_root = arb_root
         self.root_in_deg = root_in_deg
+        self.seq = -1
+
+    @property
+    def edges(self) -> FrozenSet[int]:
+        """The edge set as a frozenset (interned — shared, do not mutate)."""
+        return self.pool.edges(self.eset)
 
     @property
     def size(self) -> int:
         """Number of edges."""
-        return len(self.edges)
+        return self.pool.size(self.eset)
 
     def rooted_key(self):
         """Identity of the *rooted tree* (root + edge set), Section 4.2."""
-        return (self.root, self.edges)
+        return (self.root, self.eset)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -92,12 +130,14 @@ class SearchTree:
         )
 
 
-def make_init(node: int, sat: int, uni: bool) -> SearchTree:
+def make_init(pool, node: int, sat: int, uni: bool) -> SearchTree:
     """``Init(n)`` — a one-node tree for a seed (Definition 4.1 case 1)."""
     return SearchTree(
+        pool=pool,
         root=node,
-        edges=frozenset(),
+        eset=pool.EMPTY,
         nodes=frozenset((node,)),
+        node_mask=1 << node,
         sat=sat,
         weight=0.0,
         kind=INIT,
@@ -106,6 +146,43 @@ def make_init(node: int, sat: int, uni: bool) -> SearchTree:
         arb_root=node if uni else None,
         root_in_deg=0,
     )
+
+
+def uni_grow_state(tree: SearchTree, new_root: int, outgoing: bool) -> Optional[Tuple[Optional[int], int]]:
+    """UNI arborescence state of ``Grow(tree, e)``: ``(arb_root, root_in_deg)``.
+
+    ``None`` means the grown tree would not be an arborescence.  Exposed so
+    the engine can apply the UNI filter *before* paying for the grown tree
+    (the decision depends only on provenance scalars, not on any set).
+    """
+    if outgoing:
+        # root -> new_root keeps the current arborescence root.
+        return (tree.arb_root if tree.eset else tree.root), 1
+    # new_root -> root: only legal if the old root was the arborescence
+    # root (in-degree 0); the new node takes over.
+    if tree.eset and tree.arb_root != tree.root:
+        return None
+    return new_root, 0
+
+
+def uni_merge_state(t1: SearchTree, t2: SearchTree) -> Optional[Tuple[Optional[int], int]]:
+    """UNI arborescence state of ``Merge(t1, t2)``: ``(arb_root, root_in_deg)``.
+
+    The merged tree is an arborescence iff at least one operand is rooted
+    (in the arborescence sense) at the shared node, and the shared node
+    keeps in-degree <= 1.  ``None`` means the merge violates UNI.
+    """
+    root = t1.root
+    if t1.arb_root == root:
+        arb_root = t2.arb_root
+    elif t2.arb_root == root:
+        arb_root = t1.arb_root
+    else:
+        return None
+    root_in_deg = t1.root_in_deg + t2.root_in_deg
+    if root_in_deg > 1:
+        return None
+    return arb_root, root_in_deg
 
 
 def make_grow(
@@ -117,25 +194,23 @@ def make_grow(
     edge_weight: float,
     outgoing: bool,
     uni: bool,
+    eset=None,
+    uni_state: Optional[Tuple[Optional[int], int]] = None,
 ) -> Optional[SearchTree]:
     """``Grow(t, e)`` — extend ``tree`` from its root along ``edge_id``.
 
     ``outgoing`` tells whether the edge leaves the current root (i.e. is
     directed root -> new_root).  Returns ``None`` when ``uni`` is set and the
-    extended tree would not be an arborescence.
+    extended tree would not be an arborescence.  ``eset`` / ``uni_state``
+    may carry the already-computed edge-set handle and
+    :func:`uni_grow_state` result (the engine derives both for its
+    pre-construction pruning); otherwise they are derived here.
     """
     if uni:
-        if outgoing:
-            # root -> new_root keeps the current arborescence root.
-            arb_root = tree.arb_root if tree.edges else tree.root
-            root_in_deg = 1
-        else:
-            # new_root -> root: only legal if the old root was the
-            # arborescence root (in-degree 0); the new node takes over.
-            if tree.edges and tree.arb_root != tree.root:
-                return None
-            arb_root = new_root
-            root_in_deg = 0
+        state = uni_state if uni_state is not None else uni_grow_state(tree, new_root, outgoing)
+        if state is None:
+            return None
+        arb_root, root_in_deg = state
     else:
         arb_root = None
         root_in_deg = 0
@@ -145,10 +220,13 @@ def make_grow(
         path_seed = tree.path_seed
     else:
         path_seed = None
+    pool = tree.pool
     return SearchTree(
+        pool=pool,
         root=new_root,
-        edges=tree.edges | {edge_id},
+        eset=eset if eset is not None else pool.union1(tree.eset, edge_id),
         nodes=tree.nodes | {new_root},
+        node_mask=tree.node_mask | (1 << new_root),
         sat=tree.sat | new_root_sat,
         weight=tree.weight + edge_weight,
         kind=GROW,
@@ -159,32 +237,38 @@ def make_grow(
     )
 
 
-def make_merge(t1: SearchTree, t2: SearchTree, uni: bool) -> Optional[SearchTree]:
+def make_merge(
+    t1: SearchTree,
+    t2: SearchTree,
+    uni: bool,
+    eset=None,
+    uni_state: Optional[Tuple[Optional[int], int]] = None,
+) -> Optional[SearchTree]:
     """``Merge(t1, t2)`` — union of two trees sharing exactly their root.
 
     The engine has already verified Merge1/Merge2; here we combine the
     derived state and enforce the UNI arborescence rule: the merged tree is
     an arborescence iff at least one operand is rooted (in the arborescence
-    sense) at the shared node.
+    sense) at the shared node.  ``eset`` / ``uni_state`` may carry the
+    already-computed union handle and :func:`uni_merge_state` result (the
+    engine derives both for its pre-construction pruning).
     """
     root = t1.root
     if uni:
-        if t1.arb_root == root:
-            arb_root = t2.arb_root
-        elif t2.arb_root == root:
-            arb_root = t1.arb_root
-        else:
+        state = uni_state if uni_state is not None else uni_merge_state(t1, t2)
+        if state is None:
             return None
-        root_in_deg = t1.root_in_deg + t2.root_in_deg
-        if root_in_deg > 1:
-            return None
+        arb_root, root_in_deg = state
     else:
         arb_root = None
         root_in_deg = 0
+    pool = t1.pool
     return SearchTree(
+        pool=pool,
         root=root,
-        edges=t1.edges | t2.edges,
+        eset=eset if eset is not None else pool.union2(t1.eset, t2.eset),
         nodes=t1.nodes | t2.nodes,
+        node_mask=t1.node_mask | t2.node_mask,
         sat=t1.sat | t2.sat,
         weight=t1.weight + t2.weight,
         kind=MERGE,
@@ -203,9 +287,11 @@ def make_mo(tree: SearchTree, new_root: int, new_root_in_deg: int) -> SearchTree
     which the engine computes from the graph (needed for UNI merges).
     """
     return SearchTree(
+        pool=tree.pool,
         root=new_root,
-        edges=tree.edges,
+        eset=tree.eset,
         nodes=tree.nodes,
+        node_mask=tree.node_mask,
         sat=tree.sat,
         weight=tree.weight,
         kind=MO,

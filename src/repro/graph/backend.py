@@ -94,6 +94,12 @@ class GraphBackend(Protocol):
 
     def edge_label(self, edge_id: int) -> str: ...
 
+    def edge_endpoints(self, edge_id: int) -> Tuple[int, int]: ...
+
+    def edge_source(self, edge_id: int) -> int: ...
+
+    def edge_target(self, edge_id: int) -> int: ...
+
     def nodes_with_label(self, label: str) -> List[int]: ...
 
     def nodes_with_type(self, type_name: str) -> List[int]: ...
@@ -151,6 +157,8 @@ class CSRGraph:
         self._adj_out = memoryview(adj_out)
         # --- per-edge scalar columns ---
         self._weights = array("d", (edge.weight for edge in self._edges))
+        self._edge_source = array("q", (edge.source for edge in self._edges))
+        self._edge_target = array("q", (edge.target for edge in self._edges))
         label_ids: Dict[str, int] = {}
         edge_label_ids = array("q", bytes(8 * num_edges))
         for edge in self._edges:
@@ -285,6 +293,16 @@ class CSRGraph:
 
     def edge_label(self, edge_id: int) -> str:
         return self._label_names[self._edge_label_ids[edge_id]]
+
+    def edge_endpoints(self, edge_id: int) -> Tuple[int, int]:
+        """``(source, target)`` read off the flat endpoint columns."""
+        return self._edge_source[edge_id], self._edge_target[edge_id]
+
+    def edge_source(self, edge_id: int) -> int:
+        return self._edge_source[edge_id]
+
+    def edge_target(self, edge_id: int) -> int:
+        return self._edge_target[edge_id]
 
     # ------------------------------------------------------------------
     # label / type indexes

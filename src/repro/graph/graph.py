@@ -226,6 +226,19 @@ class Graph:
         """Label of edge ``edge_id`` (hot-path scalar accessor, unchecked)."""
         return self._edges[edge_id].label
 
+    def edge_endpoints(self, edge_id: int) -> Tuple[int, int]:
+        """``(source, target)`` of edge ``edge_id`` (hot-path, unchecked)."""
+        edge = self._edges[edge_id]
+        return edge.source, edge.target
+
+    def edge_source(self, edge_id: int) -> int:
+        """Source node of edge ``edge_id`` (hot-path, unchecked)."""
+        return self._edges[edge_id].source
+
+    def edge_target(self, edge_id: int) -> int:
+        """Target node of edge ``edge_id`` (hot-path, unchecked)."""
+        return self._edges[edge_id].target
+
     def out_edges(self, node_id: int) -> List[Edge]:
         return [self._edges[e] for e, _, outgoing in self._adjacency[node_id] if outgoing]
 

@@ -1,0 +1,310 @@
+"""Property and unit tests for the edge-set interning layer.
+
+``EdgeSetPool`` (repro.ctp.interning) is the foundation the GAM-family
+bookkeeping now stands on, so it gets the strongest tests in the suite:
+
+* Hypothesis-driven model checks — every pool operation is mirrored
+  against plain frozenset arithmetic on random workloads;
+* hash-consing exactness — equal sets always intern to the same handle,
+  distinct sets never share one, regardless of construction path
+  (union1 vs union2 vs intern), including associativity/commutativity;
+* fingerprint hygiene — no 64-bit Zobrist collisions on generated
+  workloads (collisions are *handled*, but should be unobservable);
+* isolation — pools are engine-local: runs never share handles, and a
+  second run cannot perturb the first run's pool or results;
+* the engine-level structures riding on the pool: the sat-bucketed merge
+  index, the balanced-queue size heap, and the pool telemetry counters.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ctp.bft import BFTAMSearch, BFTMSearch, BFTSearch
+from repro.ctp.config import SearchConfig
+from repro.ctp.esp import ESPSearch
+from repro.ctp.gam import GAMSearch
+from repro.ctp.interning import EdgeSetPool, FrozenEdgeSets, make_pool, splitmix64
+from repro.ctp.lesp import LESPSearch
+from repro.ctp.moesp import MoESPSearch
+from repro.ctp.molesp import MoLESPSearch
+from repro.ctp.tree import make_grow, make_init
+from repro.graph.datasets import figure1, figure1_seed_sets
+from repro.testing import random_graph, random_seed_sets
+from repro.workloads.synthetic import chain_graph, star_graph
+
+SETTINGS = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+GAM_FAMILY = (GAMSearch, ESPSearch, MoESPSearch, LESPSearch, MoLESPSearch)
+BFT_FAMILY = (BFTSearch, BFTMSearch, BFTAMSearch)
+
+
+# ----------------------------------------------------------------------
+# pool basics
+# ----------------------------------------------------------------------
+class TestPoolBasics:
+    def test_empty_handle_is_zero_and_falsy(self):
+        pool = EdgeSetPool()
+        assert pool.EMPTY == 0
+        assert not pool.EMPTY
+        assert pool.edges(pool.EMPTY) == frozenset()
+        assert pool.size(pool.EMPTY) == 0
+        assert pool.fingerprint(pool.EMPTY) == 0
+
+    def test_union1_interns_and_memoizes(self):
+        pool = EdgeSetPool()
+        a = pool.union1(pool.EMPTY, 7)
+        assert pool.edges(a) == frozenset({7})
+        assert pool.size(a) == 1
+        misses = pool.union_misses
+        assert pool.union1(pool.EMPTY, 7) == a  # memo hit
+        assert pool.union_misses == misses
+        assert pool.union_hits >= 1
+
+    def test_union1_with_present_edge_is_identity(self):
+        pool = EdgeSetPool()
+        a = pool.union1(pool.EMPTY, 3)
+        assert pool.union1(a, 3) == a
+
+    def test_union2_identity_and_empty(self):
+        pool = EdgeSetPool()
+        a = pool.intern([1, 2])
+        assert pool.union2(a, a) == a
+        assert pool.union2(a, pool.EMPTY) == a
+        assert pool.union2(pool.EMPTY, a) == a
+
+    def test_same_set_same_handle_across_paths(self):
+        pool = EdgeSetPool()
+        via_union1 = pool.union1(pool.union1(pool.EMPTY, 1), 2)
+        via_intern = pool.intern([2, 1])
+        via_union2 = pool.union2(pool.intern([1]), pool.intern([2]))
+        assert via_union1 == via_intern == via_union2
+
+    def test_distinct_sets_distinct_handles(self):
+        pool = EdgeSetPool()
+        handles = {pool.intern(s) for s in ([1], [2], [1, 2], [1, 3], [])}
+        assert len(handles) == 5
+
+    def test_overlapping_union2_fingerprint_is_exact(self):
+        pool = EdgeSetPool()
+        a = pool.intern([1, 2, 3])
+        b = pool.intern([2, 3, 4])
+        u = pool.union2(a, b)
+        assert pool.edges(u) == frozenset({1, 2, 3, 4})
+        # The union must be indistinguishable from a directly interned set.
+        assert pool.intern([1, 2, 3, 4]) == u
+        assert pool.fingerprint(u) == pool.fingerprint(pool.intern([4, 3, 2, 1]))
+
+    def test_splitmix64_deterministic(self):
+        assert splitmix64(0) == splitmix64(0)
+        assert splitmix64(1) != splitmix64(2)
+        values = {splitmix64(i) for i in range(10_000)}
+        assert len(values) == 10_000  # no collisions in the code stream
+
+    def test_make_pool_dispatch(self):
+        assert isinstance(make_pool(True), EdgeSetPool)
+        assert isinstance(make_pool(False), FrozenEdgeSets)
+
+    def test_frozen_shim_mirrors_frozenset_arithmetic(self):
+        shim = FrozenEdgeSets()
+        a = shim.intern([1, 2])
+        assert shim.union1(a, 3) == frozenset({1, 2, 3})
+        assert shim.union2(a, frozenset({4})) == frozenset({1, 2, 4})
+        assert shim.size(a) == 2
+        assert shim.edges(a) is a
+        assert not shim.EMPTY
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: the pool against the frozenset model
+# ----------------------------------------------------------------------
+@st.composite
+def pool_programs(draw):
+    """A random program of union1/union2/intern operations."""
+    num_ops = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for _ in range(num_ops):
+        kind = draw(st.sampled_from(("union1", "union2", "intern")))
+        if kind == "union1":
+            ops.append(("union1", draw(st.integers(0, 200))))
+        elif kind == "union2":
+            ops.append(("union2", draw(st.integers(0, 10_000))))
+        else:
+            ops.append(("intern", draw(st.lists(st.integers(0, 200), max_size=12))))
+    return ops
+
+
+@SETTINGS
+@given(pool_programs())
+def test_pool_matches_frozenset_model(program):
+    """Every handle's materialized set equals the frozenset-model value."""
+    pool = EdgeSetPool()
+    handles = [pool.EMPTY]
+    model = {pool.EMPTY: frozenset()}
+    for op in program:
+        if op[0] == "union1":
+            base = handles[op[1] % len(handles)]
+            out = pool.union1(base, op[1])
+            expected = model[base] | {op[1]}
+        elif op[0] == "union2":
+            a = handles[op[1] % len(handles)]
+            b = handles[(op[1] // 7) % len(handles)]
+            out = pool.union2(a, b)
+            expected = model[a] | model[b]
+        else:
+            out = pool.intern(op[1])
+            expected = frozenset(op[1])
+        assert pool.edges(out) == expected
+        assert pool.size(out) == len(expected)
+        previous = model.get(out)
+        assert previous is None or previous == expected  # handles never alias
+        model[out] = expected
+        handles.append(out)
+    # Hash-consing exactness: one handle per distinct set, and re-interning
+    # any materialized set returns its existing handle.
+    by_set = {}
+    for handle, edges in model.items():
+        assert by_set.setdefault(edges, handle) == handle
+        assert pool.intern(edges) == handle
+    # 64-bit Zobrist fingerprints should never collide on workloads this
+    # size; collisions are survivable but must stay unobservable.
+    assert pool.collisions == 0
+
+
+@SETTINGS
+@given(pool_programs(), pool_programs())
+def test_pool_runs_are_isolated(left, right):
+    """Interleaving two pools never lets one contaminate the other."""
+
+    def replay(pool, program):
+        handles = [pool.EMPTY]
+        for op in program:
+            if op[0] == "union1":
+                handles.append(pool.union1(handles[op[1] % len(handles)], op[1]))
+            elif op[0] == "union2":
+                handles.append(
+                    pool.union2(handles[op[1] % len(handles)], handles[(op[1] // 7) % len(handles)])
+                )
+            else:
+                handles.append(pool.intern(op[1]))
+        return [pool.edges(h) for h in handles]
+
+    solo_left = replay(EdgeSetPool(), left)
+    solo_right = replay(EdgeSetPool(), right)
+    pool_a, pool_b = EdgeSetPool(), EdgeSetPool()
+    assert replay(pool_a, left) == solo_left
+    assert replay(pool_b, right) == solo_right
+    # Replaying on a *used* pool still yields the same sets (ids may differ).
+    assert replay(pool_a, right) == solo_right
+
+
+@SETTINGS
+@given(st.lists(st.frozensets(st.integers(0, 500), max_size=10), min_size=3, max_size=12))
+def test_union2_associative_and_commutative(sets):
+    pool = EdgeSetPool()
+    handles = [pool.intern(s) for s in sets]
+    for a in handles[:4]:
+        for b in handles[:4]:
+            assert pool.union2(a, b) == pool.union2(b, a)
+            for c in handles[:4]:
+                assert pool.union2(pool.union2(a, b), c) == pool.union2(a, pool.union2(b, c))
+
+
+# ----------------------------------------------------------------------
+# trees on the pool
+# ----------------------------------------------------------------------
+class TestTreeHandles:
+    def test_grow_produces_interned_handles(self):
+        pool = EdgeSetPool()
+        base = make_init(pool, 0, 0b1, uni=False)
+        assert base.eset == pool.EMPTY
+        assert base.node_mask == 1
+        grown = make_grow(base, 10, 1, 0, False, 1.0, outgoing=True, uni=False)
+        assert grown.edges == frozenset({10})
+        assert grown.node_mask == 0b11
+        again = make_grow(base, 10, 1, 0, False, 1.0, outgoing=True, uni=False)
+        assert again.eset == grown.eset  # hash-consed, not merely equal
+
+    def test_rooted_key_is_int_pair(self):
+        pool = EdgeSetPool()
+        base = make_init(pool, 3, 1, uni=False)
+        grown = make_grow(base, 5, 4, 0, False, 1.0, outgoing=True, uni=False)
+        root, eset = grown.rooted_key()
+        assert isinstance(root, int) and isinstance(eset, int)
+
+
+# ----------------------------------------------------------------------
+# engine-level: telemetry, bucket index, balanced pops, isolation
+# ----------------------------------------------------------------------
+class TestEngineIntegration:
+    def test_pool_telemetry_reported(self):
+        graph, seeds = chain_graph(6)
+        stats = MoLESPSearch().run(graph, seeds, SearchConfig()).stats
+        assert stats.pool_sets > 0
+        assert stats.pool_union_misses > 0
+        # The chain re-derives the same edge sets through many different
+        # union pairs: hash-consing coalesces them into far fewer handles.
+        assert stats.pool_sets < stats.pool_union_misses
+
+    def test_fallback_reports_zero_pool_stats(self):
+        graph, seeds = chain_graph(4)
+        stats = MoLESPSearch().run(graph, seeds, SearchConfig(interning=False)).stats
+        assert stats.pool_sets == 0
+        assert stats.pool_union_hits == 0
+        assert stats.pool_union_misses == 0
+
+    def test_merge_buckets_skipped_on_star(self):
+        graph, seeds = star_graph(5, 2)
+        stats = MoLESPSearch().run(graph, seeds, SearchConfig()).stats
+        assert stats.merge_buckets_skipped > 0
+
+    def test_balanced_pop_scans_counted(self):
+        fig1 = figure1()
+        seeds = figure1_seed_sets(fig1)
+        balanced = GAMSearch().run(fig1, seeds, SearchConfig(balanced_queues=True)).stats
+        single = GAMSearch().run(fig1, seeds, SearchConfig(balanced_queues=False)).stats
+        assert balanced.balanced_pop_scans >= balanced.grows > 0
+        assert single.balanced_pop_scans == 0
+
+    def test_repeat_runs_identical(self):
+        """Each run owns a fresh pool: repeated runs cannot interfere."""
+        graph, seeds = star_graph(4, 2)
+        algorithm = MoLESPSearch()
+        first = algorithm.run(graph, seeds, SearchConfig())
+        second = algorithm.run(graph, seeds, SearchConfig())
+        assert first.edge_sets() == second.edge_sets()
+        assert first.stats.as_dict().keys() == second.stats.as_dict().keys()
+        assert first.stats.pool_sets == second.stats.pool_sets
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: interned engines vs the frozenset fallback, live
+# ----------------------------------------------------------------------
+def _outcome(result_set):
+    stats = result_set.stats
+    return (
+        sorted((tuple(sorted(r.edges)), r.seeds, round(r.weight, 9)) for r in result_set),
+        stats.grows,
+        stats.merges,
+        stats.trees_kept,
+        stats.mo_copies,
+        stats.queue_pushes,
+        stats.results_found,
+        result_set.complete,
+    )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 10_000), st.booleans(), st.booleans())
+def test_interned_engines_match_fallback_on_random_graphs(seed, uni, balanced):
+    rng = random.Random(seed)
+    graph = random_graph(rng, rng.randint(5, 11), rng.randint(6, 18), num_labels=2)
+    seed_sets = random_seed_sets(random.Random(seed + 1), graph, rng.randint(2, 3), max_size=2)
+    config = dict(uni=uni, balanced_queues=balanced, max_trees=20000)
+    for algorithm_cls in GAM_FAMILY + BFT_FAMILY:
+        algorithm = algorithm_cls()
+        interned = algorithm.run(graph, seed_sets, SearchConfig(interning=True, **config))
+        fallback = algorithm.run(graph, seed_sets, SearchConfig(interning=False, **config))
+        assert _outcome(interned) == _outcome(fallback), algorithm.name

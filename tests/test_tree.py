@@ -1,6 +1,16 @@
 """Unit tests for SearchTree construction (Definition 4.1 + UNI rules)."""
 
-from repro.ctp.tree import GROW, INIT, MERGE, MO, SearchTree, make_grow, make_init, make_merge, make_mo
+from repro.ctp.interning import EdgeSetPool
+from repro.ctp.tree import GROW, INIT, MERGE, MO, SearchTree, make_grow, make_merge, make_mo
+from repro.ctp.tree import make_init as _make_init
+
+# Trees are built against an edge-set pool (repro.ctp.interning); the tests
+# here are about tree *shape* rules, so they share one module-level pool.
+_POOL = EdgeSetPool()
+
+
+def make_init(node, sat, uni):
+    return _make_init(_POOL, node, sat, uni)
 
 
 def test_init_tree_fields():
