@@ -52,19 +52,17 @@ def _path_engine_row(graph, query_text: str, engine_factory: Callable, timeout: 
     query = parse_query(query_text)
 
     def job():
-        from repro.query.evaluator import _seed_sets_for_ctp  # shared logic
+        from repro.query.evaluator import _seed_sets_for_ctp, derive_binding_values  # shared logic
         from repro.ctp.config import WILDCARD
 
-        binding_tables = {}
-        for bgp in query.bgps():
-            table = evaluate_bgp(graph, bgp)
-            for column in table.columns:
-                binding_tables.setdefault(column, table)
+        bgp_tables = [evaluate_bgp(graph, bgp) for bgp in query.bgps()]
+        seed_vars = {seed.var for ctp in query.ctps for seed in ctp.seeds}
+        binding_values = derive_binding_values(bgp_tables, only=seed_vars)
         engine = engine_factory()
         total_answers = 0
         timed_out = False
         for ctp in query.ctps:
-            seed_sets, _ = _seed_sets_for_ctp(graph, ctp, binding_tables)
+            seed_sets, _, _, _ = _seed_sets_for_ctp(graph, ctp, binding_values)
             resolved = [list(graph.node_ids()) if s is WILDCARD else list(s) for s in seed_sets]
             max_hops = ctp.filters.max_edges
             if max_hops is not None:

@@ -35,7 +35,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         graph,
         args.query,
         algorithm=args.algorithm,
-        base_config=SearchConfig(backend=args.backend, interning=not args.no_interning),
+        base_config=SearchConfig(
+            backend=args.backend,
+            interning=not args.no_interning,
+            shared_context=args.shared_context,
+        ),
         default_timeout=args.timeout,
     )
     print(result.format(limit=args.rows))
@@ -45,7 +49,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"CTP {timings.ctp_seconds * 1000:.1f}ms, join {timings.join_seconds * 1000:.1f}ms"
     )
     for report in result.ctp_reports:
-        print(f"?{report.tree_var}: {report.result_set.stats.format()}")
+        memo = " [ctp-cache hit]" if report.cache_hit else ""
+        print(f"?{report.tree_var}: {report.result_set.stats.format()}{memo}")
+    if result.context_stats:
+        ctx = result.context_stats
+        print(
+            f"context: runs={ctx['runs']} pool_sets={ctx['pool_sets']} "
+            f"union_hits={ctx['pool_union_hits']} "
+            f"ctp_cache={ctx['ctp_cache_hits']}/{ctx['ctp_cache_hits'] + ctx['ctp_cache_misses']} "
+            f"rooted_hits={ctx['rooted_cache_hits']} seed_cache_hits={ctx['seed_cache_hits']}"
+        )
     return 0
 
 
@@ -99,6 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-interning",
         action="store_true",
         help="disable the hash-consed edge-set pool (frozenset fallback; for A/B timing)",
+    )
+    query.add_argument(
+        "--shared-context",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="share one query-scoped search context (pool + result caches) across the "
+        "query's CTP evaluations; --no-shared-context restores a pool per CTP (A/B baseline)",
     )
     query.add_argument("--timeout", type=float, default=30.0, help="per-CTP timeout in seconds")
     query.add_argument("--rows", type=int, default=25, help="max rows to display")

@@ -26,7 +26,7 @@ from repro.ctp.analysis import (
     simple_tree_decomposition,
 )
 from repro.ctp.config import WILDCARD, SearchConfig
-from repro.ctp.interning import EdgeSetPool, FrozenEdgeSets
+from repro.ctp.interning import EdgeSetPool, FrozenEdgeSets, ResultCache, SearchContext
 from repro.ctp.results import CTPResultSet, ResultTree, validate_result
 from repro.ctp.stats import SearchStats
 from repro.ctp.registry import ALGORITHMS, evaluate_ctp, get_algorithm
@@ -48,8 +48,10 @@ __all__ = [
     "LESPSearch",
     "MoESPSearch",
     "MoLESPSearch",
+    "ResultCache",
     "ResultTree",
     "SearchConfig",
+    "SearchContext",
     "SearchStats",
     "WILDCARD",
     "classify_piece",

@@ -21,7 +21,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro._util import Deadline, full_mask
 from repro.ctp.config import DEFAULT_CONFIG, SearchConfig
 from repro.ctp.engine import _StopSearch, normalize_seed_sets
-from repro.ctp.interning import make_pool
+from repro.ctp.interning import SearchContext, adopt_pool, pool_stats_delta
 from repro.ctp.results import CTPResultSet, ResultTree
 from repro.ctp.stats import SearchStats
 from repro.errors import SearchError
@@ -64,8 +64,14 @@ class BFTSearch:
     #: "none" (plain BFT), "merge" (BFT-M), "aggressive" (BFT-AM).
     merge_mode = "none"
 
-    def run(self, graph: Graph, seed_sets: Sequence, config: Optional[SearchConfig] = None) -> CTPResultSet:
-        run = _BFTRun(graph, seed_sets, config or DEFAULT_CONFIG, self)
+    def run(
+        self,
+        graph: Graph,
+        seed_sets: Sequence,
+        config: Optional[SearchConfig] = None,
+        context: Optional[SearchContext] = None,
+    ) -> CTPResultSet:
+        run = _BFTRun(graph, seed_sets, config or DEFAULT_CONFIG, self, context)
         return run.execute()
 
     def __repr__(self) -> str:
@@ -87,7 +93,14 @@ class BFTAMSearch(BFTSearch):
 
 
 class _BFTRun:
-    def __init__(self, graph: Graph, seed_sets: Sequence, config: SearchConfig, algo: BFTSearch):
+    def __init__(
+        self,
+        graph: Graph,
+        seed_sets: Sequence,
+        config: SearchConfig,
+        algo: BFTSearch,
+        context: Optional[SearchContext] = None,
+    ):
         self.graph = graph = resolve_backend(graph, config.backend)
         self.config = config
         self.algo = algo
@@ -106,7 +119,9 @@ class _BFTRun:
         for bit, nodes in enumerate(self.explicit_sets):
             for node in nodes:
                 self.seed_mask[node] = self.seed_mask.get(node, 0) | (1 << bit)
-        self.pool = make_pool(config.interning)
+        # Query-scoped pool sharing (see _GAMRun): BFT trees are unrooted,
+        # so only the pool is adopted, not the rooted-result cache.
+        self.pool, _, self._pool_baseline = adopt_pool(context, graph, config.interning)
         self.memory: Set = set()  # every tree ever built (edge-set handles)
         self.trees_containing: Dict[int, List[_BFTTree]] = {}
         self.queue: deque = deque()
@@ -125,10 +140,7 @@ class _BFTRun:
             complete = False
             self.timed_out = stop.timed_out
         self.stats.elapsed_seconds = self.deadline.elapsed()
-        pool = self.pool
-        self.stats.pool_sets = len(pool)
-        self.stats.pool_union_hits = pool.union_hits
-        self.stats.pool_union_misses = pool.union_misses
+        pool_stats_delta(self.stats, self.pool, self._pool_baseline)
         results = self.results
         if self.config.top_k is not None and len(results) > self.config.top_k:
             results = sorted(results, key=lambda r: (-(r.score or 0.0), r.size))[: self.config.top_k]

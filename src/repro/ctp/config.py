@@ -89,6 +89,14 @@ class SearchConfig:
         Inject Mo copies for *every* new tree (Algorithm 3 read literally)
         instead of only when seed coverage grew (the Section 4.5 text).
         Same results, strictly more work; exposed to quantify the cost.
+    shared_context:
+        Evaluator-level knob (ignored by standalone engine runs): share one
+        query-scoped :class:`~repro.ctp.interning.SearchContext` — edge-set
+        pool, per-root result cache, cross-CTP memo — across all CTP
+        evaluations of a query (default).  ``False`` restores the
+        pool-per-CTP behaviour as the A/B baseline of ``python -m
+        repro.bench query-context``.  Representation-only: the produced
+        rows are identical either way.
     """
 
     uni: bool = False
@@ -106,6 +114,7 @@ class SearchConfig:
     interning: bool = True
     strict_merge2: bool = False
     mo_inject_always: bool = False
+    shared_context: bool = True
 
     def __post_init__(self) -> None:
         if self.top_k is not None and self.score is None:

@@ -55,7 +55,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro._util import Counter, Deadline, full_mask, popcount
 from repro.ctp.config import DEFAULT_CONFIG, WILDCARD, SearchConfig
-from repro.ctp.interning import make_pool
+from repro.ctp.interning import SearchContext, adopt_pool, pool_stats_delta
 from repro.ctp.results import CTPResultSet, ResultTree
 from repro.ctp.stats import SearchStats
 from repro.ctp.tree import (
@@ -123,14 +123,24 @@ class GAMFamilySearch:
     mo_trees = False
     lesp_guard = False
 
-    def run(self, graph: Graph, seed_sets: Sequence, config: Optional[SearchConfig] = None) -> CTPResultSet:
+    def run(
+        self,
+        graph: Graph,
+        seed_sets: Sequence,
+        config: Optional[SearchConfig] = None,
+        context: Optional[SearchContext] = None,
+    ) -> CTPResultSet:
         """Evaluate the CTP defined by ``seed_sets`` over ``graph``.
 
         ``seed_sets`` is a sequence of node-id collections (or ``WILDCARD``).
         Returns all minimal connecting trees found (Definition 2.8), subject
-        to the filters in ``config``.
+        to the filters in ``config``.  ``context`` is an optional
+        query-scoped :class:`~repro.ctp.interning.SearchContext`: when given
+        (and compatible with this run's graph/interning mode) the run adopts
+        the context's shared edge-set pool and rooted-result cache instead
+        of constructing pool state internally.
         """
-        run = _GAMRun(graph, seed_sets, config or DEFAULT_CONFIG, self)
+        run = _GAMRun(graph, seed_sets, config or DEFAULT_CONFIG, self, context)
         return run.execute()
 
     def __repr__(self) -> str:
@@ -140,7 +150,14 @@ class GAMFamilySearch:
 class _GAMRun:
     """State and main loop of a single GAM-family evaluation."""
 
-    def __init__(self, graph: Graph, seed_sets: Sequence, config: SearchConfig, algo: GAMFamilySearch):
+    def __init__(
+        self,
+        graph: Graph,
+        seed_sets: Sequence,
+        config: SearchConfig,
+        algo: GAMFamilySearch,
+        context: Optional[SearchContext] = None,
+    ):
         self.graph = graph = resolve_backend(graph, config.backend)
         self.config = config
         self.algo = algo
@@ -156,7 +173,18 @@ class _GAMRun:
             for node in nodes:
                 self.seed_mask[node] = self.seed_mask.get(node, 0) | (1 << bit)
         # --- interned tree state (edge-set pool, see repro.ctp.interning) ---
-        self.pool = make_pool(config.interning)
+        # A query-scoped context supplies a pool shared by all the query's
+        # CTP runs (handles stay comparable across runs); refusals — graph
+        # or interning mismatch — silently fall back to a private pool.
+        self.pool, self.context, self._pool_baseline = adopt_pool(context, graph, config.interning)
+        # Rooted-cache fingerprint: config identity plus the graph's size
+        # (append-only graphs invalidate cached payloads by growing).
+        self._cfg_fp = None
+        if self.context is not None:
+            self._cfg_fp = (
+                SearchContext.config_fingerprint(config),
+                SearchContext.graph_fingerprint(graph),
+            )
         # --- search state (Algorithms 1-5 globals) ---
         # History structures are keyed by pool handles: ints under the
         # interning pool (O(1) hashing), frozensets under the fallback.
@@ -227,10 +255,7 @@ class _GAMRun:
             complete = False
             self.timed_out = stop.timed_out
         self.stats.elapsed_seconds = self.deadline.elapsed()
-        pool = self.pool
-        self.stats.pool_sets = len(pool)
-        self.stats.pool_union_hits = pool.union_hits
-        self.stats.pool_union_misses = pool.union_misses
+        pool_stats_delta(self.stats, self.pool, self._pool_baseline)
         results = self._final_results()
         return CTPResultSet(
             results=results,
@@ -602,10 +627,28 @@ class _GAMRun:
                 for bit in range(len(self.explicit_sets)):
                     if mask & (1 << bit):
                         seeds[self.explicit_positions[bit]] = node
-        score = None
-        if self.config.score is not None:
-            score = self.config.score(self.graph, tree.edges, tree.nodes)
-        self.results.append(ResultTree(edges=tree.edges, nodes=tree.nodes, seeds=tuple(seeds), weight=tree.weight, score=score))
+        # The per-root result cache of the query context: a sibling CTP (or
+        # an earlier run of this one) that reported the same rooted tree
+        # under the same config fingerprint already materialized edge/node
+        # sets and paid the score call — reuse its payload.  Seeds are
+        # per-CTP (positions differ) and always rebuilt above.
+        context = self.context
+        cached = None
+        cache_key = None
+        if context is not None:
+            cache_key = (tree.root, tree.eset, self._cfg_fp)
+            cached = context.rooted_cache.get(cache_key)
+        if cached is not None:
+            edges, nodes, score = cached
+            self.stats.ctx_rooted_hits += 1
+        else:
+            edges, nodes = tree.edges, tree.nodes
+            score = None
+            if self.config.score is not None:
+                score = self.config.score(self.graph, edges, nodes)
+            if cache_key is not None:
+                context.rooted_cache.put(cache_key, (edges, nodes, score))
+        self.results.append(ResultTree(edges=edges, nodes=nodes, seeds=tuple(seeds), weight=tree.weight, score=score))
         self.stats.results_found += 1
         if self.config.limit is not None and self.stats.results_found >= self.config.limit:
             raise _StopSearch()

@@ -37,11 +37,24 @@ operation is the seed implementation's frozenset arithmetic.  It exists so
 the engines keep a single code path and so the micro-bench
 (``python -m repro.bench interning``) can measure exactly what the pool
 buys on identical workloads.
+
+:class:`SearchContext` scopes the pool to a *query* instead of a single
+CTP evaluation (Section 3's pipeline runs one search per CTP): all CTPs of
+a query intern into the same pool — so edge sets a sibling CTP already
+built are memo hits instead of fresh allocations, and handles are
+comparable across runs — and two bounded caches ride on top of the shared
+handles: a per-root cache of materialized rooted-tree results keyed by
+``(root, eset handle, config fingerprint)``, and the evaluator's
+cross-CTP memo of whole result sets keyed by graph, seed sets, and config
+fingerprint.  Both caches are bounded LRU (:class:`ResultCache`) and own
+every reference they hold, so a long-lived context cannot grow without
+limit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Tuple, Union
+from collections import OrderedDict
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 _MASK64 = (1 << 64) - 1
 
@@ -331,3 +344,205 @@ class FrozenEdgeSets:
 def make_pool(interning: bool):
     """The pool implementation for a run: interned or frozenset fallback."""
     return EdgeSetPool() if interning else FrozenEdgeSets()
+
+
+class ResultCache:
+    """A bounded LRU map — the eviction bound of the context caches.
+
+    ``None`` is never a legal value (``get`` uses it as the miss marker).
+    Hits refresh recency; inserting past ``maxsize`` evicts the least
+    recently used entry.  Counters are plain attributes so callers can
+    fold them into reports without extra accessors.
+    """
+
+    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError("ResultCache needs maxsize >= 1")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        if value is None:
+            raise ValueError("ResultCache cannot store None")
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+
+class SearchContext:
+    """Query-scoped search state shared by the per-CTP evaluations.
+
+    One context owns one pool; every engine run of the query *adopts* it
+    (:meth:`adopt`) instead of constructing pool state internally, so
+
+    * edge-set handles are stable across the query's CTPs — a set one CTP
+      interned is a memo hit for the next, and handle-keyed caches survive
+      from run to run;
+    * ``rooted_cache`` maps ``(root, eset handle, config fingerprint)`` to
+      the materialized payload of a reported rooted tree (edges, nodes,
+      score), so a CTP that re-discovers a tree a sibling already reported
+      skips re-materialization and re-scoring;
+    * ``ctp_cache`` memoizes whole *complete* CTP result sets under
+      ``(graph, algorithm, seed sets, config fingerprint)`` — the
+      evaluator's cross-CTP memo for repeated CTPs (same seeds, same
+      filters), e.g. the same CONNECT under several tree variables or
+      repeated evaluations across BGP embeddings.  The graph rides in the
+      key by *identity*, so an explicit context reused across queries can
+      never serve one graph's results for another, and the LRU owns every
+      reference (evicting an entry frees its seed tuples and result set).
+
+    Sharing is strictly representational: per-run search state (``hist``,
+    ``rooted_keys``, queues, seed masks) stays inside each engine run, so a
+    shared context changes no search outcome — only how much work each run
+    repeats.  Adoption is refused (the engine falls back to a private
+    pool) when the run's graph or interning mode differs from the
+    context's; refusals are counted, never raised.
+    """
+
+    __slots__ = (
+        "interning",
+        "pool",
+        "rooted_cache",
+        "ctp_cache",
+        "runs",
+        "rejects",
+        "_graph",
+    )
+
+    def __init__(
+        self,
+        interning: bool = True,
+        ctp_cache_size: int = 64,
+        rooted_cache_size: int = 8192,
+    ):
+        self.interning = interning
+        self.pool = make_pool(interning)
+        self.rooted_cache = ResultCache(rooted_cache_size)
+        self.ctp_cache = ResultCache(ctp_cache_size)
+        self.runs = 0
+        self.rejects = 0
+        self._graph: Optional[object] = None  # strong ref: pins id() validity
+
+    # ------------------------------------------------------------------
+    def adopt(self, graph, interning: bool):
+        """The shared pool for an engine run, or ``None`` to refuse.
+
+        ``graph`` must be the run's *resolved* backend graph: handles and
+        cached payloads reference edge ids of exactly one graph, so the
+        context binds itself to the first graph it sees and refuses any
+        other (and any run whose interning mode differs from the pool's).
+        """
+        if interning != self.interning:
+            self.rejects += 1
+            return None
+        if self._graph is None:
+            self._graph = graph
+        elif self._graph is not graph:
+            self.rejects += 1
+            return None
+        self.runs += 1
+        return self.pool
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def config_fingerprint(config) -> Tuple:
+        """The search-relevant identity of a :class:`SearchConfig`.
+
+        Every field that can change a result set (or its truncation) is
+        included; ``shared_context`` itself is representation-only and
+        deliberately absent.
+        """
+        return (
+            config.uni,
+            config.labels,
+            config.max_edges,
+            config.timeout,
+            config.limit,
+            config.score,
+            config.top_k,
+            config.order,
+            config.balanced_queues,
+            config.balance_ratio,
+            config.max_trees,
+            config.backend,
+            config.interning,
+            config.strict_merge2,
+            config.mo_inject_always,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def graph_fingerprint(graph) -> Tuple[int, int]:
+        """Size fingerprint of an (append-only) graph.
+
+        Graphs only ever gain nodes/edges, so the count pair changes on
+        every mutation; folding it into cache keys invalidates entries
+        cached before a mutation (same graph object, different contents).
+        """
+        return (graph.num_nodes, graph.num_edges)
+
+    # ------------------------------------------------------------------
+    def stats_dict(self) -> Dict[str, int]:
+        """Counters for the evaluator's query report / the CLI."""
+        pool = self.pool
+        return {
+            "runs": self.runs,
+            "rejects": self.rejects,
+            "pool_sets": len(pool),
+            "pool_union_hits": pool.union_hits,
+            "pool_union_misses": pool.union_misses,
+            "ctp_cache_hits": self.ctp_cache.hits,
+            "ctp_cache_misses": self.ctp_cache.misses,
+            "ctp_cache_evictions": self.ctp_cache.evictions,
+            "rooted_cache_hits": self.rooted_cache.hits,
+            "rooted_cache_misses": self.rooted_cache.misses,
+            "rooted_cache_evictions": self.rooted_cache.evictions,
+        }
+
+
+def adopt_pool(context: Optional[SearchContext], graph, interning: bool):
+    """Shared pool adoption for an engine run.
+
+    Returns ``(pool, adopted_context, baseline)``: the pool to use (the
+    context's when adoption succeeds, a fresh private one otherwise), the
+    context iff adopted (``None`` tells the engine to skip context
+    caches), and the pool-counter baseline for :func:`pool_stats_delta` —
+    the shared pool's current state, or zeros for a private pool so the
+    per-run stats keep the seed semantics (absolute values).
+    """
+    pool = context.adopt(graph, interning) if context is not None else None
+    if pool is None:
+        return make_pool(interning), None, (0, 0, 0)
+    return pool, context, (len(pool), pool.union_hits, pool.union_misses)
+
+
+def pool_stats_delta(stats, pool, baseline) -> None:
+    """Fill a run's pool counters as deltas against its adoption baseline."""
+    len0, hits0, misses0 = baseline
+    stats.pool_sets = len(pool) - len0
+    stats.pool_union_hits = pool.union_hits - hits0
+    stats.pool_union_misses = pool.union_misses - misses0

@@ -6,6 +6,7 @@ from typing import Dict, Optional, Sequence, Type
 
 from repro.ctp.bft import BFTAMSearch, BFTMSearch, BFTSearch
 from repro.ctp.config import SearchConfig
+from repro.ctp.interning import SearchContext
 from repro.ctp.esp import ESPSearch
 from repro.ctp.gam import GAMSearch
 from repro.ctp.lesp import LESPSearch
@@ -45,6 +46,7 @@ def evaluate_ctp(
     seed_sets: Sequence,
     algorithm: str = "molesp",
     config: Optional[SearchConfig] = None,
+    context: Optional[SearchContext] = None,
     **config_kwargs,
 ) -> CTPResultSet:
     """Evaluate a set-based CTP (Definition 2.8) with the named algorithm.
@@ -53,9 +55,13 @@ def evaluate_ctp(
     explicit ``config`` is given, e.g.::
 
         evaluate_ctp(g, [s1, s2, s3], "molesp", timeout=5.0, max_edges=8)
+
+    ``context`` optionally shares a query-scoped
+    :class:`~repro.ctp.interning.SearchContext` (edge-set pool + result
+    caches) across several evaluations over the same graph.
     """
     if config is not None and config_kwargs:
         raise SearchError("pass either a SearchConfig or keyword options, not both")
     if config is None:
         config = SearchConfig(**config_kwargs)
-    return get_algorithm(algorithm).run(graph, seed_sets, config)
+    return get_algorithm(algorithm).run(graph, seed_sets, config, context=context)

@@ -38,9 +38,15 @@ class SearchStats:
     balanced_pop_scans: int = 0
     #: Edge-set pool telemetry (repro.ctp.interning): distinct sets interned
     #: and memoized-union hit/miss counts.  All zero under interning=False.
+    #: When the run adopted a query-scoped SearchContext these are *deltas*
+    #: against the shared pool's state at run start.
     pool_sets: int = 0
     pool_union_hits: int = 0
     pool_union_misses: int = 0
+    #: Results whose materialized payload (edge/node sets, score) was served
+    #: by the query context's per-root cache instead of rebuilt — nonzero
+    #: only when a shared SearchContext was adopted.
+    ctx_rooted_hits: int = 0
     elapsed_seconds: float = 0.0
 
     @property
@@ -66,6 +72,7 @@ class SearchStats:
             "pool_sets": self.pool_sets,
             "pool_union_hits": self.pool_union_hits,
             "pool_union_misses": self.pool_union_misses,
+            "ctx_rooted_hits": self.ctx_rooted_hits,
             "provenances": self.provenances,
             "elapsed_seconds": self.elapsed_seconds,
         }

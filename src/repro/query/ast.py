@@ -154,9 +154,15 @@ class BGP:
 
 @dataclass(frozen=True)
 class CTPFilters:
-    """The optional CTP filters of Definition 2.11 / Section 4.8."""
+    """The optional CTP filters of Definition 2.11 / Section 4.8.
 
-    uni: bool = False
+    Every field is tri-state: ``None`` means "not specified, inherit the
+    base :class:`~repro.ctp.config.SearchConfig`".  That includes ``uni``
+    — an explicit ``uni=False`` *overrides* a base config that enables the
+    filter, instead of being indistinguishable from "unspecified".
+    """
+
+    uni: Optional[bool] = None
     labels: Optional[FrozenSet[str]] = None
     max_edges: Optional[int] = None
     score: Optional[str] = None

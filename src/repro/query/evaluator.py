@@ -9,17 +9,31 @@
 The evaluator reports per-phase timings because the paper does too (e.g.
 Section 5.5.2: "MoLESP took around 30% of the total time, the rest being
 spent ... in the BGP evaluation and final joins").
+
+Step (B) runs inside one **query-scoped search context**
+(:class:`~repro.ctp.interning.SearchContext`, enabled by
+``SearchConfig(shared_context=True)``, the default): every CTP evaluation
+adopts the same edge-set pool (edge sets a sibling CTP interned are memo
+hits, not fresh allocations), rooted-tree results are cached per
+``(root, eset handle, config fingerprint)``, and whole *complete* CTP
+result sets are memoized across CTPs — a CONNECT repeated under several
+tree variables (or re-evaluated across BGP embeddings) runs once.  The
+context is representation and reuse only: rows are identical to the
+pool-per-CTP path (``shared_context=False``), which ``python -m
+repro.bench query-context`` keeps measurable as the A/B baseline.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from itertools import permutations, product
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.ctp.config import WILDCARD, SearchConfig
+from repro.ctp.interning import SearchContext
 from repro.ctp.registry import get_algorithm
-from repro.ctp.results import CTPResultSet, ResultTree
+from repro.ctp.results import CTPResultSet, ResultTree, tree_leaves
 from repro.errors import EvaluationError
 from repro.graph.graph import Graph
 from repro.query.ast import CTP, CTPFilters, EQLQuery, Predicate
@@ -39,6 +53,13 @@ class CTPReport:
     seed_set_sizes: Tuple[Optional[int], ...]  # None marks a wildcard set
     result_set: CTPResultSet
     seconds: float
+    #: True when the whole evaluation was served by the query context's
+    #: cross-CTP memo (same algorithm, seed sets, and config as an earlier
+    #: CTP of this query) — ``result_set`` is then the cached set.
+    cache_hit: bool = False
+    #: True when the evaluation ran inside a shared query context (pool
+    #: counters in ``result_set.stats`` are per-run deltas in that case).
+    shared_context: bool = False
 
 
 @dataclass
@@ -58,7 +79,8 @@ class QueryResult:
 
     Row values are node ids for node variables, edge ids for edge
     variables, and :class:`~repro.ctp.results.ResultTree` objects for CTP
-    tree variables.
+    tree variables.  ``context_stats`` summarizes the query-scoped search
+    context (pool size, memo/cache hit counters) when one was used.
     """
 
     columns: Tuple[str, ...]
@@ -66,6 +88,7 @@ class QueryResult:
     graph: Graph
     timings: QueryTimings = field(default_factory=QueryTimings)
     ctp_reports: List[CTPReport] = field(default_factory=list)
+    context_stats: Optional[Dict[str, int]] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -95,12 +118,17 @@ class QueryResult:
 
 
 def config_for_ctp(filters: CTPFilters, base: SearchConfig, default_timeout: Optional[float]) -> SearchConfig:
-    """Push a CTP's filters (Definition 2.11) into the search configuration."""
+    """Push a CTP's filters (Definition 2.11) into the search configuration.
+
+    Every filter is tri-state: ``None`` inherits the base config, anything
+    else overrides it — including ``uni=False``, which *disables* a
+    base-config ``uni=True`` instead of silently inheriting it.
+    """
     score = base.score
     if filters.score is not None:
         score = get_score_function(filters.score)
     return base.with_(
-        uni=filters.uni or base.uni,
+        uni=filters.uni if filters.uni is not None else base.uni,
         labels=filters.labels if filters.labels is not None else base.labels,
         max_edges=filters.max_edges if filters.max_edges is not None else base.max_edges,
         timeout=filters.timeout if filters.timeout is not None else (base.timeout or default_timeout),
@@ -121,46 +149,194 @@ def match_seed_nodes(graph: Graph, predicate: Predicate) -> List[int]:
     return graph.find_nodes(predicate.test)
 
 
+def derive_binding_values(
+    bgp_tables: Sequence[Table],
+    only: Optional[Sequence[str]] = None,
+) -> Dict[str, List[Any]]:
+    """Per-variable candidate values from the BGP tables (step B.1).
+
+    A variable bound by *several* tables must draw its candidates from the
+    **intersection** of their distinct values — using whichever table came
+    first (the old ``setdefault`` behaviour) hands the search a superset of
+    seeds, and with ``LIMIT`` / ``TOP k`` pushed into the search those
+    extra seeds consume the result budget on rows the final join discards,
+    changing query answers.  First-seen order of the first binding table is
+    preserved so seed enumeration stays deterministic.
+
+    ``only`` restricts the derivation to the named variables (the
+    evaluator passes the CTP seed vars; distinct-value scans for head-only
+    or edge variables would be wasted work).
+
+    Per-variable intersection is still an over-approximation of the final
+    join when two tables share *several* columns (a value pair may survive
+    each column's intersection but no joined row).  EQL queries cannot
+    produce that shape — :meth:`EQLQuery.bgps` builds BGPs as connected
+    components under shared variables, so distinct BGP tables are
+    variable-disjoint — it can only arise from hand-assembled table sets;
+    a semi-join-based derivation would be the next refinement if one ever
+    needs it.
+    """
+    wanted = None if only is None else set(only)
+    values: Dict[str, List[Any]] = {}
+    for table in bgp_tables:
+        for column in table.columns:
+            if wanted is not None and column not in wanted:
+                continue
+            distinct = table.distinct_values(column)
+            if column not in values:
+                values[column] = distinct
+            else:
+                keep = set(distinct)
+                values[column] = [v for v in values[column] if v in keep]
+    return values
+
+
 def _seed_sets_for_ctp(
     graph: Graph,
     ctp: CTP,
-    binding_tables: Dict[str, Table],
-) -> Tuple[List[Any], Tuple[Optional[int], ...]]:
-    """Step (B.1): derive the CTP's seed sets from BGP bindings or the graph."""
+    binding_values: Dict[str, List[Any]],
+    seed_cache: Optional[Dict[Any, List[int]]] = None,
+) -> Tuple[List[Any], Tuple[Optional[int], ...], List[int], int]:
+    """Step (B.1): derive the CTP's seed sets from BGP bindings or the graph.
+
+    Returns ``(seed_sets, sizes, wildcard_positions, cache_hits)``.
+    ``seed_cache`` (shared across the CTPs of a query) dedups the derivation
+    itself: two CTPs seeding from the same bound variable + predicate, or
+    from the same free predicate (a full graph scan), reuse one node list.
+    """
     seed_sets: List[Any] = []
     sizes: List[Optional[int]] = []
-    for seed in ctp.seeds:
-        table = binding_tables.get(seed.var)
-        if table is not None:
-            nodes = table.distinct_values(seed.var)
-            if not seed.is_empty:
-                nodes = [n for n in nodes if seed.test(graph.node(n))]
-            seed_sets.append(nodes)
-            sizes.append(len(nodes))
+    wildcard_positions: List[int] = []
+    cache_hits = 0
+    for position, seed in enumerate(ctp.seeds):
+        bound = binding_values.get(seed.var)
+        if bound is not None:
+            key = ("bound", seed.var, seed.conditions)
         elif seed.is_empty:
             seed_sets.append(WILDCARD)  # an N seed set (Section 4.9)
             sizes.append(None)
+            wildcard_positions.append(position)
+            continue
         else:
-            nodes = match_seed_nodes(graph, seed)
-            seed_sets.append(nodes)
-            sizes.append(len(nodes))
-    return seed_sets, tuple(sizes)
+            key = ("free", seed.conditions)
+        nodes = None
+        if seed_cache is not None:
+            nodes = seed_cache.get(key)
+            if nodes is not None:
+                cache_hits += 1
+        if nodes is None:
+            if bound is not None:
+                nodes = bound if seed.is_empty else [n for n in bound if seed.test(graph.node(n))]
+            else:
+                nodes = match_seed_nodes(graph, seed)
+            if seed_cache is not None:
+                seed_cache[key] = nodes
+        seed_sets.append(nodes)
+        sizes.append(len(nodes))
+    return seed_sets, tuple(sizes), wildcard_positions, cache_hits
 
 
-def _ctp_table(ctp: CTP, result_set: CTPResultSet) -> Table:
-    """Materialize a CTP's results as the ``CTP_j`` table of Section 3."""
+def _wildcard_assignments(
+    graph: Graph,
+    result: ResultTree,
+    wildcard_positions: Sequence[int],
+) -> List[Tuple[int, ...]]:
+    """All valid bindings of a result's wildcard (N) seed variables.
+
+    Definition 2.10 semantics: an assignment is valid iff the tree is a
+    minimal connecting tree of the *instantiated* seeds — equivalently,
+    every leaf is either an explicitly matched seed or one of the wildcard
+    bindings.  So any leaf not matched by an explicit seed set ("free")
+    must be covered by some wildcard variable, and once the free leaves are
+    covered, every remaining wildcard variable may bind *any* tree node
+    (binding an internal node never breaks minimality).
+    """
+    wildcard = set(wildcard_positions)
+    explicit = {
+        value
+        for position, value in enumerate(result.seeds)
+        if position not in wildcard and value is not None
+    }
+    nodes: List[int] = sorted(result.nodes)
+    free: List[int] = []
+    if result.edges:
+        free = [leaf for leaf in tree_leaves(graph, result.edges) if leaf not in explicit]
+    k = len(wildcard_positions)
+    if len(free) > k:
+        # More uncovered leaves than wildcard variables: no instantiation
+        # makes this tree minimal (defensive — the engines never report
+        # such trees, their only possibly-free leaf is the root).
+        return []
+    if k == 1:
+        choices = free if free else nodes
+        return [(choice,) for choice in choices]
+    # k >= 2: place the free leaves on distinct positions, fill the rest
+    # with arbitrary tree nodes.  This generates only valid assignments
+    # (O(k!/(k-f)! * n^(k-f)) with a dedup set) instead of filtering the
+    # full n^k product.
+    out: List[Tuple[int, ...]] = []
+    seen = set()
+    for placement in permutations(range(k), len(free)):
+        rest = [position for position in range(k) if position not in placement]
+        for choice in product(nodes, repeat=len(rest)):
+            combo: List[Optional[int]] = [None] * k
+            for leaf, position in zip(free, placement):
+                combo[position] = leaf
+            for value, position in zip(choice, rest):
+                combo[position] = value
+            assignment = tuple(combo)
+            if assignment not in seen:
+                seen.add(assignment)
+                out.append(assignment)
+    return out
+
+
+def _ctp_table(
+    graph: Graph,
+    ctp: CTP,
+    result_set: CTPResultSet,
+    wildcard_positions: Sequence[int] = (),
+) -> Table:
+    """Materialize a CTP's results as the ``CTP_j`` table of Section 3.
+
+    Wildcard (N) seed columns are expanded to **one row per valid match**
+    (:func:`_wildcard_assignments`) instead of a single representative
+    node: a representative silently drops rows as soon as the variable is
+    joined against any other binding of it — or projected — because every
+    other valid match of the same tree vanishes (Definition 2.10).
+    """
     columns = list(ctp.seed_vars()) + [ctp.tree_var]
     rows = []
     for result in result_set:
-        values: List[Any] = []
-        for position, seed in enumerate(result.seeds):
-            if seed is None:
-                # Wildcard set: any tree node matches; bind a representative.
-                seed = min(result.nodes)
-            values.append(seed)
-        values.append(result)
-        rows.append(tuple(values))
+        values = list(result.seeds)
+        if not wildcard_positions:
+            rows.append(tuple(values) + (result,))
+            continue
+        for combo in _wildcard_assignments(graph, result, wildcard_positions):
+            for position, node in zip(wildcard_positions, combo):
+                values[position] = node
+            rows.append(tuple(values) + (result,))
     return Table(columns, rows)
+
+
+def _ctp_memo_key(graph: Graph, algorithm: str, seed_sets: Sequence, config: SearchConfig):
+    """Cross-CTP memo key: (graph, algorithm, seed sets, config fingerprint).
+
+    The graph participates by *identity* — an explicit context reused
+    across queries must never serve one graph's result sets for another —
+    plus its size fingerprint, so growing an (append-only) graph between
+    queries invalidates entries cached before the mutation.  The whole key
+    lives only inside the bounded LRU, so evicting an entry releases every
+    reference it pinned.
+    """
+    seeds_key = tuple("*" if s is WILDCARD else tuple(s) for s in seed_sets)
+    return (
+        graph,
+        SearchContext.graph_fingerprint(graph),  # append-only growth invalidates
+        algorithm,
+        seeds_key,
+        SearchContext.config_fingerprint(config),
+    )
 
 
 def evaluate_query(
@@ -170,6 +346,7 @@ def evaluate_query(
     base_config: Optional[SearchConfig] = None,
     default_timeout: Optional[float] = None,
     distinct: bool = True,
+    context: Optional[SearchContext] = None,
 ) -> QueryResult:
     """Evaluate an EQL query (Definition 2.10 semantics).
 
@@ -184,30 +361,54 @@ def evaluate_query(
     default_timeout:
         Per-CTP timeout (seconds) applied when neither the CTP's filters nor
         ``base_config`` specify one (the paper's ``T``).
+    context:
+        An explicit :class:`~repro.ctp.interning.SearchContext` to run the
+        query's CTPs in.  Passing one shared across *queries* amortizes the
+        pool further (same graph required); by default a fresh context is
+        created per query when ``base_config.shared_context`` is true, and
+        none at all when it is false (the pool-per-CTP A/B baseline).
     """
     if isinstance(query, str):
         query = parse_query(query)
     base_config = base_config or SearchConfig()
+    if context is None and base_config.shared_context:
+        context = SearchContext(interning=base_config.interning)
 
     # Step (A): evaluate each BGP into a materialized table.
     started = time.perf_counter()
     bgp_tables = [evaluate_bgp(graph, bgp) for bgp in query.bgps()]
     bgp_seconds = time.perf_counter() - started
 
-    binding_tables: Dict[str, Table] = {}
-    for table in bgp_tables:
-        for column in table.columns:
-            binding_tables.setdefault(column, table)
+    seed_vars = {seed.var for ctp in query.ctps for seed in ctp.seeds}
+    binding_values = derive_binding_values(bgp_tables, only=seed_vars)
 
-    # Step (B): evaluate each CTP on its derived seed sets.
+    # Step (B): evaluate each CTP on its derived seed sets, all runs inside
+    # the query-scoped context (shared pool + caches) when one is active.
     ctp_tables: List[Table] = []
     reports: List[CTPReport] = []
     ctp_seconds = 0.0
+    seed_cache: Dict[Any, List[int]] = {}
+    seed_cache_hits = 0
     for ctp in query.ctps:
-        seed_sets, sizes = _seed_sets_for_ctp(graph, ctp, binding_tables)
+        seed_sets, sizes, wildcard_positions, hits = _seed_sets_for_ctp(
+            graph, ctp, binding_values, seed_cache
+        )
+        seed_cache_hits += hits
         config = config_for_ctp(ctp.filters, base_config, default_timeout)
         ctp_started = time.perf_counter()
-        result_set = get_algorithm(algorithm).run(graph, seed_sets, config)
+        result_set = None
+        memo_key = None
+        cache_hit = False
+        if context is not None:
+            memo_key = _ctp_memo_key(graph, algorithm, seed_sets, config)
+            result_set = context.ctp_cache.get(memo_key)
+            cache_hit = result_set is not None
+        if result_set is None:
+            result_set = get_algorithm(algorithm).run(graph, seed_sets, config, context=context)
+            # Only complete, untruncated evaluations are safe to replay for
+            # a later CTP: a timeout cut is wall-clock-dependent.
+            if memo_key is not None and result_set.complete and not result_set.timed_out:
+                context.ctp_cache.put(memo_key, result_set)
         elapsed = time.perf_counter() - ctp_started
         ctp_seconds += elapsed
         reports.append(
@@ -217,9 +418,11 @@ def evaluate_query(
                 seed_set_sizes=sizes,
                 result_set=result_set,
                 seconds=elapsed,
+                cache_hit=cache_hit,
+                shared_context=context is not None,
             )
         )
-        ctp_tables.append(_ctp_table(ctp, result_set))
+        ctp_tables.append(_ctp_table(graph, ctp, result_set, wildcard_positions))
 
     # Step (C): join everything and project on the head.
     join_started = time.perf_counter()
@@ -233,10 +436,15 @@ def evaluate_query(
         rows = rows[: query.limit]
     join_seconds = time.perf_counter() - join_started
 
+    context_stats = None
+    if context is not None:
+        context_stats = context.stats_dict()
+        context_stats["seed_cache_hits"] = seed_cache_hits
     return QueryResult(
         columns=final.columns,
         rows=rows,
         graph=graph,
         timings=QueryTimings(bgp_seconds, ctp_seconds, join_seconds),
         ctp_reports=reports,
+        context_stats=context_stats,
     )

@@ -223,7 +223,7 @@ class _Parser:
         self.connects.append((seeds, tree_var, filters))
 
     def _parse_ctp_filters(self) -> CTPFilters:
-        uni = False
+        uni = None  # tri-state: None = unspecified, inherit the base config
         labels = None
         max_edges = None
         score = None

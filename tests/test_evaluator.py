@@ -6,7 +6,10 @@ from repro.ctp.config import SearchConfig
 from repro.ctp.results import ResultTree
 from repro.errors import EvaluationError
 from repro.graph.datasets import figure1, figure1_edge
-from repro.query.evaluator import evaluate_query
+from repro.graph.graph import Graph
+from repro.query.ast import CTPFilters
+from repro.query.evaluator import config_for_ctp, derive_binding_values, evaluate_query
+from repro.storage.table import Table
 
 Q1 = """
 SELECT ?x ?y ?z ?w
@@ -202,6 +205,147 @@ class TestMultipleCTPsAndJoins:
         without = evaluate_query(fig1, query, distinct=True)
         assert len(with_dups) == 5
         assert len(without) == 2  # USA, France
+
+
+def _junction_graph():
+    """B - X - C plus a spur X - D: X is an internal junction node."""
+    graph = Graph("junction")
+    b = graph.add_node("B")
+    c = graph.add_node("C")
+    d = graph.add_node("D")
+    x = graph.add_node("X")
+    graph.add_edge(b, x, "e")
+    graph.add_edge(c, x, "e")
+    graph.add_edge(d, x, "e")
+    return graph
+
+
+class TestWildcardJoinSemantics:
+    """Regression: wildcard seed columns must expand to every valid match.
+
+    The old ``_ctp_table`` bound a wildcard variable to one representative
+    node per tree; any join against (or projection of) that variable then
+    silently dropped the tree's other valid matches (Definition 2.10)."""
+
+    def test_wildcard_expands_to_all_valid_matches(self):
+        graph = _junction_graph()
+        query = 'SELECT ?y WHERE { CONNECT(?y, "B", "C") AS ?w }'
+        result = evaluate_query(graph, query)
+        names = {graph.node(row[0]).label for row in result.rows}
+        # The only B-C connection is B-X-C; every leaf is an explicit seed,
+        # so ?y may bind any tree node — not just the search root.
+        assert {"B", "X", "C"} <= names
+
+    def test_wildcard_join_with_second_ctp(self):
+        graph = _junction_graph()
+        query = """
+        SELECT ?y WHERE {
+          CONNECT(?y, "B", "C") AS ?w1
+          CONNECT(?y, "D") AS ?w2
+        }
+        """
+        result = evaluate_query(graph, query)
+        names = {graph.node(row[0]).label for row in result.rows}
+        # ?y must lie on a B-C connecting tree *and* connect to D.  B, X, C
+        # qualify through the path B-X-C; D through its extension B-X-C +
+        # X-D (all leaves instantiated seeds).  Representative binding kept
+        # only the search roots and lost B and C.
+        assert names == {"B", "X", "C", "D"}
+
+    def test_free_leaf_must_be_the_wildcard_match(self, fig1):
+        # A path grown away from the explicit seed keeps exactly one
+        # non-seed leaf; the wildcard variable must bind it (and nothing
+        # else), exactly as the engine reported.
+        query = 'SELECT ?y ?w WHERE { CONNECT("Bob", ?y) AS ?w MAX 1 }'
+        result = evaluate_query(fig1, query)
+        for y, tree in result.rows:
+            assert y in tree.nodes
+            if tree.edges:
+                assert y != fig1.find_node_by_label("Bob")
+
+    def test_multi_wildcard_assignments_cover_free_leaf(self):
+        from repro.query.evaluator import _wildcard_assignments
+
+        graph = _junction_graph()
+        b, c, x = (graph.find_node_by_label(n) for n in ("B", "C", "X"))
+        bx = next(e for e, _, _ in graph.adjacent(b))
+        cx = next(e for e, _, _ in graph.adjacent(c))
+        # Tree B-X-C for CONNECT(?y1, ?y2, "B"): the free leaf C must be
+        # covered by one wildcard variable, the other may bind any node.
+        tree = ResultTree(edges=frozenset((bx, cx)), nodes=frozenset((b, x, c)), seeds=(None, None, b))
+        combos = set(_wildcard_assignments(graph, tree, (0, 1)))
+        assert combos == {(c, b), (c, x), (c, c), (b, c), (x, c)}
+        # No free leaf (single-node tree): both variables range freely.
+        lone = ResultTree(edges=frozenset(), nodes=frozenset((b,)), seeds=(None, None, b))
+        assert set(_wildcard_assignments(graph, lone, (0, 1))) == {(b, b)}
+
+    def test_wildcard_row_count_unchanged_for_paths(self, fig1):
+        # Path-shaped wildcard results have a unique valid match (the free
+        # leaf), so expansion must not inflate the projection.
+        query = 'SELECT ?w WHERE { CONNECT("Bob", *) AS ?w MAX 1 }'
+        result = evaluate_query(fig1, query)
+        report = result.ctp_reports[0]
+        assert len(result) == len(report.result_set)
+
+
+class TestBindingIntersection:
+    """Regression: a variable bound by several tables must derive CTP seeds
+    from the *intersection* of their distinct values, not the first table."""
+
+    def test_intersection_of_two_tables(self):
+        first = Table(("x", "y"), [(1, 10), (2, 20), (3, 30)])
+        second = Table(("x", "z"), [(2, 200), (4, 400), (3, 300)])
+        values = derive_binding_values([first, second])
+        assert values["x"] == [2, 3]  # first-table order, intersected
+        assert values["y"] == [10, 20, 30]
+        assert values["z"] == [200, 400, 300]
+
+    def test_single_table_keeps_distinct_order(self):
+        table = Table(("x",), [(3,), (1,), (3,), (2,)])
+        assert derive_binding_values([table])["x"] == [3, 1, 2]
+
+    def test_three_way_intersection(self):
+        tables = [
+            Table(("x",), [(1,), (2,), (3,), (4,)]),
+            Table(("x",), [(2,), (3,), (4,)]),
+            Table(("x",), [(4,), (2,)]),
+        ]
+        assert derive_binding_values(tables)["x"] == [2, 4]
+
+
+class TestUniTriState:
+    """Regression: a per-CTP filter can turn ``uni`` *off* again."""
+
+    def test_unspecified_inherits_base(self):
+        config = config_for_ctp(CTPFilters(), SearchConfig(uni=True), None)
+        assert config.uni is True
+        config = config_for_ctp(CTPFilters(), SearchConfig(), None)
+        assert config.uni is False
+
+    def test_explicit_true_overrides(self):
+        config = config_for_ctp(CTPFilters(uni=True), SearchConfig(), None)
+        assert config.uni is True
+
+    def test_explicit_false_overrides_base_true(self):
+        config = config_for_ctp(CTPFilters(uni=False), SearchConfig(uni=True), None)
+        assert config.uni is False
+
+    def test_parser_leaves_uni_unspecified(self, fig1):
+        # An EQL CTP without UNI inherits a uni base config end-to-end.
+        base = SearchConfig(uni=True)
+        result = evaluate_query(fig1, Q1, base_config=base)
+        t_beta = frozenset(figure1_edge(k) for k in (1, 2, 17, 16))
+        assert all(row[3].edges != t_beta for row in result.rows)  # UNI applied
+
+    def test_programmatic_uni_off_beats_base(self, fig1):
+        from repro.query.parser import parse_query
+
+        query = parse_query(Q1)
+        ctp = query.ctps[0]
+        object.__setattr__(ctp, "filters", CTPFilters(uni=False))
+        result = evaluate_query(fig1, query, base_config=SearchConfig(uni=True))
+        t_beta = frozenset(figure1_edge(k) for k in (1, 2, 17, 16))
+        assert any(row[3].edges == t_beta for row in result.rows)  # UNI disabled
 
 
 class TestErrors:
