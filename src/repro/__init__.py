@@ -32,7 +32,7 @@ from repro.ctp import (
     evaluate_ctp,
     get_algorithm,
 )
-from repro.query import EQLQuery, QueryResult, evaluate_query, parse_query
+from repro.query import BatchResult, EQLQuery, QueryResult, evaluate_queries, evaluate_query, parse_query
 from repro.errors import (
     EvaluationError,
     GraphError,
@@ -48,6 +48,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "BatchResult",
     "CTPResultSet",
     "EQLQuery",
     "Edge",
@@ -68,6 +69,7 @@ __all__ = [
     "ValidationError",
     "WILDCARD",
     "evaluate_ctp",
+    "evaluate_queries",
     "evaluate_query",
     "get_algorithm",
     "graph_from_triples",

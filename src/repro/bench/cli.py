@@ -26,11 +26,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", default="bench_results", help="directory for JSON results")
     parser.add_argument("--no-save", action="store_true", help="do not write JSON results")
     parser.add_argument("--chart", action="store_true", help="render figure-style sparkline charts")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: clamp --scale to 0.25 and imply --no-save "
+        "(equivalence/determinism gates still run at full strictness)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.smoke:
+        args.scale = min(args.scale, 0.25)
+        args.no_save = True
     names = list(EXPERIMENTS) if "all" in args.experiment else args.experiment
     for name in names:
         runner = get_experiment(name)

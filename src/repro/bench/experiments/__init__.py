@@ -14,6 +14,7 @@ from repro.bench.experiments import (
     fig14_cdf_m3,
     micro_backend,
     micro_interning,
+    micro_parallel,
     micro_query_context,
     table1_yago,
 )
@@ -32,6 +33,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "abl01": abl01_design.run,
     "backend": micro_backend.run,
     "interning": micro_interning.run,
+    "parallel": micro_parallel.run,
     "query-context": micro_query_context.run,
 }
 

@@ -16,6 +16,7 @@ from typing import List, Optional
 
 from repro.bench.cli import main as bench_main
 from repro.ctp.config import SearchConfig
+from repro.ctp.stats import SearchStats
 from repro.errors import ReproError
 from repro.graph.datasets import figure1
 from repro.graph.io import load_graph_json, load_graph_tsv
@@ -31,15 +32,20 @@ def _load_graph(path: str):
 
 def _cmd_query(args: argparse.Namespace) -> int:
     graph = figure1() if args.graph is None else _load_graph(args.graph)
+    try:
+        base_config = SearchConfig(
+            backend=args.backend,
+            interning=not args.no_interning,
+            shared_context=args.shared_context,
+            parallelism=args.parallelism,
+        )
+    except ValueError as error:  # bad flag combinations are user errors
+        raise ReproError(str(error)) from None
     result = evaluate_query(
         graph,
         args.query,
         algorithm=args.algorithm,
-        base_config=SearchConfig(
-            backend=args.backend,
-            interning=not args.no_interning,
-            shared_context=args.shared_context,
-        ),
+        base_config=base_config,
         default_timeout=args.timeout,
     )
     print(result.format(limit=args.rows))
@@ -51,6 +57,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     for report in result.ctp_reports:
         memo = " [ctp-cache hit]" if report.cache_hit else ""
         print(f"?{report.tree_var}: {report.result_set.stats.format()}{memo}")
+    if args.parallelism > 1 and len(result.ctp_reports) > 1:
+        merged = SearchStats.merged(r.result_set.stats for r in result.ctp_reports)
+        print(f"all CTPs x{args.parallelism} workers (merged in CTP order): {merged.format()}")
     if result.context_stats:
         ctx = result.context_stats
         print(
@@ -119,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="share one query-scoped search context (pool + result caches) across the "
         "query's CTP evaluations; --no-shared-context restores a pool per CTP (A/B baseline)",
+    )
+    query.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="worker threads for the query's independent CTP evaluations (default 1 = "
+        "serial dispatch; rows are identical at any worker count)",
     )
     query.add_argument("--timeout", type=float, default=30.0, help="per-CTP timeout in seconds")
     query.add_argument("--rows", type=int, default=25, help="max rows to display")

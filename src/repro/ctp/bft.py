@@ -58,7 +58,12 @@ class _BFTTree:
 
 
 class BFTSearch:
-    """Breadth-first CTP search (complete, needs result minimization)."""
+    """Breadth-first CTP search (complete, needs result minimization).
+
+    Shares the GAM engines' concurrency contract: per-call state lives in
+    :class:`_BFTRun`, only the adopted pool is shared, so concurrent runs
+    over one thread-safe context produce serial-identical results.
+    """
 
     name = "bft"
     #: "none" (plain BFT), "merge" (BFT-M), "aggressive" (BFT-AM).

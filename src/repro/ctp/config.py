@@ -97,6 +97,15 @@ class SearchConfig:
         pool-per-CTP behaviour as the A/B baseline of ``python -m
         repro.bench query-context``.  Representation-only: the produced
         rows are identical either way.
+    parallelism:
+        Evaluator-level knob (ignored by standalone engine runs): dispatch
+        the independent CTP evaluations of a query to a worker pool of
+        this many threads (:mod:`repro.query.parallel`; default 1 = serial
+        dispatch).  Values above 1 make ``evaluate_query`` create its
+        query-scoped context *thread-safe* (sharded pool, locked caches).
+        Dispatch-only: result rows are bit-identical to serial evaluation
+        regardless of worker count — an explicitly passed non-thread-safe
+        context silently falls back to serial dispatch.
     """
 
     uni: bool = False
@@ -115,6 +124,7 @@ class SearchConfig:
     strict_merge2: bool = False
     mo_inject_always: bool = False
     shared_context: bool = True
+    parallelism: int = 1
 
     def __post_init__(self) -> None:
         if self.top_k is not None and self.score is None:
@@ -129,6 +139,8 @@ class SearchConfig:
             raise ValueError(f"unknown order {self.order!r} (use 'size', 'score', or a callable)")
         if self.order == "score" and self.score is None:
             raise ValueError("order='score' requires a score function")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1 (1 = serial CTP dispatch)")
         if self.backend not in ("auto", "dict", "csr"):
             raise ValueError(f"unknown backend {self.backend!r} (use 'auto', 'dict', or 'csr')")
         if self.labels is not None:

@@ -139,6 +139,17 @@ class GAMFamilySearch:
         (and compatible with this run's graph/interning mode) the run adopts
         the context's shared edge-set pool and rooted-result cache instead
         of constructing pool state internally.
+
+        Concurrency contract: all mutable *search* state lives in the
+        per-call :class:`_GAMRun`, and the only shared structures a run
+        touches are the context's pool and caches — so concurrent runs
+        over one ``SearchContext(thread_safe=True)`` (the parallel
+        dispatcher's setup, :mod:`repro.query.parallel`) are safe and
+        produce exactly the rows a serial run would: handles are opaque
+        identities, never ordered on, so interleaved handle numbering
+        cannot change a search outcome.  Sharing a *non*-thread-safe
+        context across threads is the caller's bug; the dispatcher
+        downgrades that case to serial.
         """
         run = _GAMRun(graph, seed_sets, config or DEFAULT_CONFIG, self, context)
         return run.execute()

@@ -46,13 +46,26 @@ comparable across runs — and two bounded caches ride on top of the shared
 handles: a per-root cache of materialized rooted-tree results keyed by
 ``(root, eset handle, config fingerprint)``, and the evaluator's
 cross-CTP memo of whole result sets keyed by graph, seed sets, and config
-fingerprint.  Both caches are bounded LRU (:class:`ResultCache`) and own
-every reference they hold, so a long-lived context cannot grow without
-limit.
+fingerprint.  Both caches are bounded LRU (:class:`ResultCache`) — by
+entry count and, optionally, by approximate payload bytes — and own every
+reference they hold, so a long-lived context cannot grow without limit.
+
+``SearchContext(thread_safe=True)`` makes all of that state safe to share
+across the worker threads of a parallel dispatch
+(:mod:`repro.query.parallel`): the pool becomes a
+:class:`ShardedEdgeSetPool` — the exact-interning step is serialized per
+*fingerprint shard*, so two threads interning different sets almost never
+contend, while two threads interning the *same* set are forced through one
+shard lock and get one handle — and both caches take a lock around their
+LRU mutations.  Sharing stays representation-only either way: a search
+never reads another run's private state, so results are identical no
+matter how runs interleave.
 """
 
 from __future__ import annotations
 
+import sys
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
@@ -218,24 +231,28 @@ class EdgeSetPool:
         size = base_size + 1
         bkey = (fp << self._SHIFT) | size
         existing = self._by_key.get(bkey)
-        out = None
-        if existing is not None:
-            # Verified candidate: base ⊆ c ∧ e ∈ c ∧ |c| = |base|+1 ⟹
-            # c = base ∪ {e}, without materializing the union.
-            if type(existing) is int:
-                candidate_set = recs[existing][0]
-                if edge_id in candidate_set and base <= candidate_set:
-                    out = existing
-            else:
-                for candidate in existing:
-                    candidate_set = recs[candidate][0]
-                    if edge_id in candidate_set and base <= candidate_set:
-                        out = candidate
-                        break
+        out = self._match_union1(existing, base, edge_id)
         if out is None:
             out = self._store_new(base | {edge_id}, fp, size, bkey, existing)
         memo[key] = out
         return out
+
+    def _match_union1(self, existing, base: FrozenSet[int], edge_id: int) -> Optional[int]:
+        """Verified candidate under a bucket key: base ⊆ c ∧ e ∈ c ∧
+        |c| = |base|+1 ⟹ c = base ∪ {e}, without materializing the union."""
+        if existing is None:
+            return None
+        recs = self._recs
+        if type(existing) is int:
+            candidate_set = recs[existing][0]
+            if edge_id in candidate_set and base <= candidate_set:
+                return existing
+            return None
+        for candidate in existing:
+            candidate_set = recs[candidate][0]
+            if edge_id in candidate_set and base <= candidate_set:
+                return candidate
+        return None
 
     def union2(self, id1: int, id2: int) -> int:
         """Handle of the union of two interned sets — the memoized Merge.
@@ -265,19 +282,7 @@ class EdgeSetPool:
             size = a_size + b_size
             bkey = (fp << self._SHIFT) | size
             existing = self._by_key.get(bkey)
-            out = None
-            if existing is not None:
-                # a ⊆ c ∧ b ⊆ c ∧ |c| = |a|+|b| (disjoint) ⟹ c = a ∪ b.
-                if type(existing) is int:
-                    candidate_set = recs[existing][0]
-                    if a <= candidate_set and b <= candidate_set:
-                        out = existing
-                else:
-                    for candidate in existing:
-                        candidate_set = recs[candidate][0]
-                        if a <= candidate_set and b <= candidate_set:
-                            out = candidate
-                            break
+            out = self._match_union2(existing, a, b)
             if out is None:
                 out = self._store_new(a | b, fp, size, bkey, existing)
         else:
@@ -291,6 +296,23 @@ class EdgeSetPool:
             out = self._intern(edges, fp, len(edges))
         memo[key] = out
         return out
+
+    def _match_union2(self, existing, a: FrozenSet[int], b: FrozenSet[int]) -> Optional[int]:
+        """Verified candidate for a disjoint union: a ⊆ c ∧ b ⊆ c ∧
+        |c| = |a|+|b| ⟹ c = a ∪ b."""
+        if existing is None:
+            return None
+        recs = self._recs
+        if type(existing) is int:
+            candidate_set = recs[existing][0]
+            if a <= candidate_set and b <= candidate_set:
+                return existing
+            return None
+        for candidate in existing:
+            candidate_set = recs[candidate][0]
+            if a <= candidate_set and b <= candidate_set:
+                return candidate
+        return None
 
     def _store_new(self, edges: FrozenSet[int], fp: int, size: int, bkey: int, existing) -> int:
         """Register a set that failed candidate verification under ``bkey``."""
@@ -306,11 +328,138 @@ class EdgeSetPool:
         return set_id
 
 
+class ShardedEdgeSetPool(EdgeSetPool):
+    """A thread-safe :class:`EdgeSetPool`: exact interning sharded by fingerprint.
+
+    The pool's one correctness-critical race is the check-then-insert of
+    ``_by_key`` — two threads interning the *same* new set must not both
+    miss the lookup and allocate two handles.  Equal sets always have equal
+    fingerprints, so serializing that step per **fingerprint shard**
+    (``fp & (shards-1)`` picks the lock) closes the race while letting
+    threads interning different sets proceed without contention; the shard
+    lock is taken only on the slow path (memo miss + unverified bucket),
+    never on a memo hit.
+
+    Remaining shared state, and why it needs no shard lock under CPython:
+
+    * ``_union1`` / ``_union2`` memo reads and writes are single dict ops
+      (atomic under the GIL); concurrent writers racing on one key always
+      write the *same* canonical handle, because the handle itself came out
+      of the serialized interning step — the write is idempotent;
+    * ``_recs`` appends go through one allocation lock so handle numbering
+      is gap-free; published records are immutable, and a reader can only
+      hold a handle that was published *after* its record was appended;
+    * the lazy ``_zobrist`` code table extends under its own lock (a torn
+      concurrent extend would hand two threads different codes for one
+      edge id — i.e. two fingerprints for one set);
+    * ``union_hits`` / ``collisions`` are telemetry: lost increments under
+      contention are tolerated, counters stay approximate lower bounds.
+
+    Handle *numbering* depends on thread interleaving (unlike the serial
+    pool), but handles are opaque identities — the engines never order by
+    them — so search results are unaffected; see tests/test_parallel.py.
+    """
+
+    #: Power of two; 16 shards keep contention negligible at the worker
+    #: counts the dispatcher uses (≤ CPU count) without a lock per bucket.
+    NUM_SHARDS = 16
+
+    __slots__ = ("_shard_locks", "_alloc_lock", "_zobrist_lock")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shard_locks = [threading.Lock() for _ in range(self.NUM_SHARDS)]
+        self._alloc_lock = threading.Lock()
+        self._zobrist_lock = threading.Lock()
+
+    # -- locked primitives ---------------------------------------------
+    def _new_id(self, edges: FrozenSet[int], fp: int, size: int) -> int:
+        with self._alloc_lock:
+            return super()._new_id(edges, fp, size)
+
+    def _code(self, edge_id: int) -> int:
+        codes = self._zobrist
+        if edge_id < len(codes):
+            return codes[edge_id]
+        with self._zobrist_lock:
+            if edge_id >= len(self._zobrist):
+                super()._code(edge_id)
+        return self._zobrist[edge_id]
+
+    # -- sharded constructors ------------------------------------------
+    def intern(self, edge_ids: Iterable[int]) -> int:
+        edges = frozenset(edge_ids)
+        fp = 0
+        for edge_id in edges:
+            fp ^= self._code(edge_id)
+        with self._shard_locks[fp & (self.NUM_SHARDS - 1)]:
+            return self._intern(edges, fp, len(edges))
+
+    def union1(self, set_id: int, edge_id: int) -> int:
+        key = (set_id << self._SHIFT) | edge_id
+        memo = self._union1
+        out = memo.get(key)
+        if out is not None:
+            self.union_hits += 1
+            return out
+        base, base_fp, base_size = self._recs[set_id]
+        if edge_id in base:
+            memo[key] = set_id
+            return set_id
+        fp = base_fp ^ self._code(edge_id)
+        size = base_size + 1
+        bkey = (fp << self._SHIFT) | size
+        with self._shard_locks[fp & (self.NUM_SHARDS - 1)]:
+            existing = self._by_key.get(bkey)
+            out = self._match_union1(existing, base, edge_id)
+            if out is None:
+                out = self._store_new(base | {edge_id}, fp, size, bkey, existing)
+        memo[key] = out
+        return out
+
+    def union2(self, id1: int, id2: int) -> int:
+        if id1 == id2:
+            return id1
+        if id1 > id2:
+            id1, id2 = id2, id1
+        if not id1:
+            return id2
+        key = (id1 << self._SHIFT) | id2
+        memo = self._union2
+        out = memo.get(key)
+        if out is not None:
+            self.union_hits += 1
+            return out
+        recs = self._recs
+        a, a_fp, a_size = recs[id1]
+        b, b_fp, b_size = recs[id2]
+        if a.isdisjoint(b):
+            fp = a_fp ^ b_fp
+            size = a_size + b_size
+            bkey = (fp << self._SHIFT) | size
+            with self._shard_locks[fp & (self.NUM_SHARDS - 1)]:
+                existing = self._by_key.get(bkey)
+                out = self._match_union2(existing, a, b)
+                if out is None:
+                    out = self._store_new(a | b, fp, size, bkey, existing)
+        else:
+            edges = a | b
+            fp = a_fp ^ b_fp
+            for edge_id in a & b:
+                fp ^= self._code(edge_id)
+            with self._shard_locks[fp & (self.NUM_SHARDS - 1)]:
+                out = self._intern(edges, fp, len(edges))
+        memo[key] = out
+        return out
+
+
 class FrozenEdgeSets:
     """The identity pool: handles *are* frozensets (the seed representation).
 
     Selected with ``SearchConfig(interning=False)``; used as the baseline of
     the interning micro-bench and the live half of the equivalence suite.
+    Stateless apart from telemetry counters, so one instance is safe to
+    share across threads as-is (lost counter increments tolerated).
     """
 
     EMPTY: FrozenSet[int] = frozenset()
@@ -341,32 +490,111 @@ class FrozenEdgeSets:
         return id1 | id2
 
 
-def make_pool(interning: bool):
-    """The pool implementation for a run: interned or frozenset fallback."""
-    return EdgeSetPool() if interning else FrozenEdgeSets()
+def make_pool(interning: bool, thread_safe: bool = False):
+    """The pool implementation for a run: interned (sharded when shared
+    across threads) or the frozenset fallback (inherently shareable)."""
+    if not interning:
+        return FrozenEdgeSets()
+    return ShardedEdgeSetPool() if thread_safe else EdgeSetPool()
+
+
+#: Containers :func:`approx_bytes` descends into element-wise.
+_SIZED_CONTAINERS = (list, tuple, set, frozenset)
+#: Leaves whose ``getsizeof`` is already their full footprint.
+_ATOMIC_TYPES = (str, bytes, bytearray, int, float, complex, bool, type(None))
+
+
+def approx_bytes(value: Any, _seen: Optional[set] = None) -> int:
+    """Approximate deep memory footprint of ``value`` in bytes.
+
+    The size-aware eviction measure of :class:`ResultCache`: a recursive
+    ``sys.getsizeof`` walk over containers, dicts, and object attributes
+    (``__dict__`` and ``__slots__``), deduplicating shared sub-objects
+    *within one value* by identity.  Approximate by design — objects shared
+    *between* cache entries are charged to each entry (a conservative
+    overestimate), and exotic C-level layouts fall back to their shallow
+    size — the point is a stable, cheap eviction signal, not an accountant.
+    """
+    if _seen is None:
+        _seen = set()
+    oid = id(value)
+    if oid in _seen:
+        return 0
+    _seen.add(oid)
+    size = sys.getsizeof(value)
+    if isinstance(value, _ATOMIC_TYPES):
+        return size
+    if isinstance(value, dict):
+        for key, item in value.items():
+            size += approx_bytes(key, _seen) + approx_bytes(item, _seen)
+        return size
+    if isinstance(value, _SIZED_CONTAINERS):
+        for item in value:
+            size += approx_bytes(item, _seen)
+        return size
+    attrs = getattr(value, "__dict__", None)
+    if attrs is not None:
+        size += approx_bytes(attrs, _seen)
+    for name in getattr(type(value), "__slots__", ()):
+        try:
+            size += approx_bytes(getattr(value, name), _seen)
+        except AttributeError:
+            continue
+    return size
 
 
 class ResultCache:
     """A bounded LRU map — the eviction bound of the context caches.
 
+    Bounded two ways: by entry count (``maxsize``, always) and — when
+    ``max_bytes`` is set — by the *approximate payload bytes* of the stored
+    values (:func:`approx_bytes`), so a long-lived context is limited by
+    memory rather than by how many entries its results happen to span.
+    Eviction pops least-recently-used entries until both bounds hold; a
+    single value larger than ``max_bytes`` is therefore never retained.
+
     ``None`` is never a legal value (``get`` uses it as the miss marker).
-    Hits refresh recency; inserting past ``maxsize`` evicts the least
-    recently used entry.  Counters are plain attributes so callers can
-    fold them into reports without extra accessors.
+    Hits refresh recency.  ``thread_safe=True`` takes a lock around every
+    LRU mutation (the ``OrderedDict`` reorder on hit makes even ``get`` a
+    write).  Counters are plain attributes so callers can fold them into
+    reports without extra accessors.
     """
 
-    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions")
+    __slots__ = (
+        "maxsize",
+        "max_bytes",
+        "total_bytes",
+        "_data",
+        "_nbytes",
+        "_lock",
+        "hits",
+        "misses",
+        "evictions",
+    )
 
-    def __init__(self, maxsize: int):
+    def __init__(self, maxsize: int, max_bytes: Optional[int] = None, thread_safe: bool = False):
         if maxsize < 1:
             raise ValueError("ResultCache needs maxsize >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("ResultCache needs max_bytes >= 1 (or None)")
         self.maxsize = maxsize
+        self.max_bytes = max_bytes
+        self.total_bytes = 0
         self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self._nbytes: Dict[Any, int] = {}
+        self._lock = threading.Lock() if thread_safe else None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key):
+        lock = self._lock
+        if lock is None:
+            return self._get(key)
+        with lock:
+            return self._get(key)
+
+    def _get(self, key):
         value = self._data.get(key)
         if value is None:
             self.misses += 1
@@ -378,12 +606,29 @@ class ResultCache:
     def put(self, key, value) -> None:
         if value is None:
             raise ValueError("ResultCache cannot store None")
+        lock = self._lock
+        if lock is None:
+            return self._put(key, value)
+        with lock:
+            return self._put(key, value)
+
+    def _put(self, key, value) -> None:
         data = self._data
         if key in data:
             data.move_to_end(key)
+            self.total_bytes -= self._nbytes.get(key, 0)
         data[key] = value
-        if len(data) > self.maxsize:
-            data.popitem(last=False)
+        # Sizing is skipped entirely for unbounded-bytes caches: the walk
+        # is the expensive part, the counters are just ints.
+        nbytes = approx_bytes(value) if self.max_bytes is not None else 0
+        self._nbytes[key] = nbytes
+        self.total_bytes += nbytes
+        max_bytes = self.max_bytes
+        while data and (
+            len(data) > self.maxsize or (max_bytes is not None and self.total_bytes > max_bytes)
+        ):
+            evicted_key, _ = data.popitem(last=False)
+            self.total_bytes -= self._nbytes.pop(evicted_key, 0)
             self.evictions += 1
 
     def __len__(self) -> int:
@@ -421,16 +666,26 @@ class SearchContext:
     repeats.  Adoption is refused (the engine falls back to a private
     pool) when the run's graph or interning mode differs from the
     context's; refusals are counted, never raised.
+
+    ``thread_safe=True`` builds the concurrency-safe variant for the
+    parallel dispatcher (:mod:`repro.query.parallel`): the pool is a
+    :class:`ShardedEdgeSetPool`, both caches lock their LRU mutations, and
+    :meth:`adopt` serializes its graph-binding check.  ``*_cache_bytes``
+    optionally bound each cache by approximate payload bytes
+    (:func:`approx_bytes`) on top of the entry-count bound — the memory
+    bound that matters for explicit long-lived contexts.
     """
 
     __slots__ = (
         "interning",
+        "thread_safe",
         "pool",
         "rooted_cache",
         "ctp_cache",
         "runs",
         "rejects",
         "_graph",
+        "_adopt_lock",
     )
 
     def __init__(
@@ -438,14 +693,23 @@ class SearchContext:
         interning: bool = True,
         ctp_cache_size: int = 64,
         rooted_cache_size: int = 8192,
+        thread_safe: bool = False,
+        ctp_cache_bytes: Optional[int] = None,
+        rooted_cache_bytes: Optional[int] = None,
     ):
         self.interning = interning
-        self.pool = make_pool(interning)
-        self.rooted_cache = ResultCache(rooted_cache_size)
-        self.ctp_cache = ResultCache(ctp_cache_size)
+        self.thread_safe = thread_safe
+        self.pool = make_pool(interning, thread_safe)
+        self.rooted_cache = ResultCache(
+            rooted_cache_size, max_bytes=rooted_cache_bytes, thread_safe=thread_safe
+        )
+        self.ctp_cache = ResultCache(
+            ctp_cache_size, max_bytes=ctp_cache_bytes, thread_safe=thread_safe
+        )
         self.runs = 0
         self.rejects = 0
         self._graph: Optional[object] = None  # strong ref: pins id() validity
+        self._adopt_lock = threading.Lock() if thread_safe else None
 
     # ------------------------------------------------------------------
     def adopt(self, graph, interning: bool):
@@ -455,7 +719,16 @@ class SearchContext:
         cached payloads reference edge ids of exactly one graph, so the
         context binds itself to the first graph it sees and refuses any
         other (and any run whose interning mode differs from the pool's).
+        Under ``thread_safe`` the first-graph binding is serialized so two
+        concurrent first adoptions cannot both bind.
         """
+        lock = self._adopt_lock
+        if lock is None:
+            return self._adopt(graph, interning)
+        with lock:
+            return self._adopt(graph, interning)
+
+    def _adopt(self, graph, interning: bool):
         if interning != self.interning:
             self.rejects += 1
             return None
@@ -473,8 +746,10 @@ class SearchContext:
         """The search-relevant identity of a :class:`SearchConfig`.
 
         Every field that can change a result set (or its truncation) is
-        included; ``shared_context`` itself is representation-only and
-        deliberately absent.
+        included; ``shared_context`` and ``parallelism`` are
+        representation/dispatch-only and deliberately absent — a parallel
+        evaluation may serve (and file) the same memo entries as a serial
+        one.
         """
         return (
             config.uni,
@@ -521,6 +796,8 @@ class SearchContext:
             "rooted_cache_hits": self.rooted_cache.hits,
             "rooted_cache_misses": self.rooted_cache.misses,
             "rooted_cache_evictions": self.rooted_cache.evictions,
+            "ctp_cache_bytes": self.ctp_cache.total_bytes,
+            "rooted_cache_bytes": self.rooted_cache.total_bytes,
         }
 
 
@@ -541,7 +818,15 @@ def adopt_pool(context: Optional[SearchContext], graph, interning: bool):
 
 
 def pool_stats_delta(stats, pool, baseline) -> None:
-    """Fill a run's pool counters as deltas against its adoption baseline."""
+    """Fill a run's pool counters as deltas against its adoption baseline.
+
+    When several runs share one pool *concurrently* (a thread-safe context
+    under the parallel dispatcher) the deltas attribute overlapping
+    activity: counters stay monotone, so values are non-negative, but a
+    run's delta includes sibling workers' interning.  Per-run pool
+    attribution is only exact under serial dispatch — search-outcome
+    counters (grows, merges, results) are unaffected either way.
+    """
     len0, hits0, misses0 = baseline
     stats.pool_sets = len(pool) - len0
     stats.pool_union_hits = pool.union_hits - hits0

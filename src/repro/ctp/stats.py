@@ -9,8 +9,8 @@ tests can assert pruning behaviour precisely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable
 
 
 @dataclass
@@ -53,6 +53,33 @@ class SearchStats:
     def provenances(self) -> int:
         """Total provenances built and retained (Figure 11 d-f metric)."""
         return self.trees_kept + self.mo_copies
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Fold another run's counters into this one (in place); returns self.
+
+        Every field sums — including ``elapsed_seconds``, which therefore
+        reads as *aggregate search time* across the merged runs (under
+        parallel dispatch that exceeds the wall-clock of the batch; the
+        wall-clock lives in the caller's timings).
+        """
+        for spec in fields(self):
+            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+        return self
+
+    @classmethod
+    def merged(cls, runs: Iterable["SearchStats"]) -> "SearchStats":
+        """Aggregate several runs' counters into a fresh ``SearchStats``.
+
+        Integer counters are order-independent; ``elapsed_seconds`` is a
+        float sum, so callers that need bit-stable aggregates must pass
+        ``runs`` in a fixed order — the parallel dispatcher merges in CTP
+        order, never completion order, exactly so the aggregate is
+        identical regardless of worker count or scheduling.
+        """
+        out = cls()
+        for stats in runs:
+            out.merge(stats)
+        return out
 
     def as_dict(self) -> Dict[str, float]:
         return {

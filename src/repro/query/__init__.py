@@ -31,10 +31,12 @@ from repro.query.ast import (
 from repro.query.parser import parse_query
 from repro.query.bgp import evaluate_bgp
 from repro.query.evaluator import QueryResult, evaluate_query
+from repro.query.parallel import BatchResult, evaluate_queries
 from repro.query.scoring import SCORE_FUNCTIONS, get_score_function, register_score_function
 
 __all__ = [
     "BGP",
+    "BatchResult",
     "CTP",
     "CTPFilters",
     "Condition",
@@ -44,6 +46,7 @@ __all__ = [
     "QueryResult",
     "SCORE_FUNCTIONS",
     "evaluate_bgp",
+    "evaluate_queries",
     "evaluate_query",
     "get_score_function",
     "parse_query",

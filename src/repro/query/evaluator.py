@@ -21,6 +21,17 @@ tree variables (or re-evaluated across BGP embeddings) runs once.  The
 context is representation and reuse only: rows are identical to the
 pool-per-CTP path (``shared_context=False``), which ``python -m
 repro.bench query-context`` keeps measurable as the A/B baseline.
+
+Step (B)'s per-CTP searches are *dispatched* through
+:mod:`repro.query.parallel`: ``SearchConfig(parallelism=N)`` fans the
+query's independent CTP evaluations out to N worker threads over a
+thread-safe context (sharded pool, locked caches), with in-flight
+deduplication of repeated CTPs standing in for the serial memo order.
+Dispatch is representation-only too — rows are bit-identical to serial
+evaluation regardless of worker count (``python -m repro.bench parallel``
+A/Bs the worker counts and re-checks equality).  The batch counterpart
+:func:`~repro.query.parallel.evaluate_queries` runs many queries against
+one shared context for cross-query memo hits.
 """
 
 from __future__ import annotations
@@ -32,12 +43,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.ctp.config import WILDCARD, SearchConfig
 from repro.ctp.interning import SearchContext
-from repro.ctp.registry import get_algorithm
 from repro.ctp.results import CTPResultSet, ResultTree, tree_leaves
 from repro.errors import EvaluationError
 from repro.graph.graph import Graph
 from repro.query.ast import CTP, CTPFilters, EQLQuery, Predicate
 from repro.query.bgp import evaluate_bgp
+from repro.query.parallel import CTPJob, run_ctp_jobs
 from repro.query.parser import parse_query
 from repro.query.scoring import get_score_function
 from repro.storage.relational import natural_join_many
@@ -64,6 +75,11 @@ class CTPReport:
 
 @dataclass
 class QueryTimings:
+    """Wall-clock per evaluator phase.  ``ctp_seconds`` covers all of step
+    (B) — seed derivation, dispatch, and table materialization — so under
+    parallel dispatch it reflects the overlapped wall time, not the sum of
+    per-CTP search times (those live on each report)."""
+
     bgp_seconds: float = 0.0
     ctp_seconds: float = 0.0
     join_seconds: float = 0.0
@@ -365,14 +381,22 @@ def evaluate_query(
         An explicit :class:`~repro.ctp.interning.SearchContext` to run the
         query's CTPs in.  Passing one shared across *queries* amortizes the
         pool further (same graph required); by default a fresh context is
-        created per query when ``base_config.shared_context`` is true, and
-        none at all when it is false (the pool-per-CTP A/B baseline).
+        created per query when ``base_config.shared_context`` is true
+        (thread-safe when ``base_config.parallelism > 1``), and none at all
+        when it is false (the pool-per-CTP A/B baseline).  An explicit
+        non-thread-safe context downgrades a ``parallelism > 1`` request to
+        serial dispatch rather than share unlocked state.
     """
     if isinstance(query, str):
         query = parse_query(query)
     base_config = base_config or SearchConfig()
     if context is None and base_config.shared_context:
-        context = SearchContext(interning=base_config.interning)
+        # Parallel dispatch shares the context across worker threads, so it
+        # must be born thread-safe (sharded pool, locked caches).
+        context = SearchContext(
+            interning=base_config.interning,
+            thread_safe=base_config.parallelism > 1,
+        )
 
     # Step (A): evaluate each BGP into a materialized table.
     started = time.perf_counter()
@@ -384,45 +408,42 @@ def evaluate_query(
 
     # Step (B): evaluate each CTP on its derived seed sets, all runs inside
     # the query-scoped context (shared pool + caches) when one is active.
-    ctp_tables: List[Table] = []
-    reports: List[CTPReport] = []
-    ctp_seconds = 0.0
+    # Seed derivation stays serial (it shares one dedup cache); the
+    # searches themselves go through the dispatch layer — the serial loop
+    # for parallelism=1, a worker pool with in-flight memo dedup otherwise.
+    ctp_started = time.perf_counter()
     seed_cache: Dict[Any, List[int]] = {}
     seed_cache_hits = 0
-    for ctp in query.ctps:
+    jobs: List[CTPJob] = []
+    derived: List[Tuple[Tuple[Optional[int], ...], List[int]]] = []
+    for index, ctp in enumerate(query.ctps):
         seed_sets, sizes, wildcard_positions, hits = _seed_sets_for_ctp(
             graph, ctp, binding_values, seed_cache
         )
         seed_cache_hits += hits
         config = config_for_ctp(ctp.filters, base_config, default_timeout)
-        ctp_started = time.perf_counter()
-        result_set = None
-        memo_key = None
-        cache_hit = False
-        if context is not None:
-            memo_key = _ctp_memo_key(graph, algorithm, seed_sets, config)
-            result_set = context.ctp_cache.get(memo_key)
-            cache_hit = result_set is not None
-        if result_set is None:
-            result_set = get_algorithm(algorithm).run(graph, seed_sets, config, context=context)
-            # Only complete, untruncated evaluations are safe to replay for
-            # a later CTP: a timeout cut is wall-clock-dependent.
-            if memo_key is not None and result_set.complete and not result_set.timed_out:
-                context.ctp_cache.put(memo_key, result_set)
-        elapsed = time.perf_counter() - ctp_started
-        ctp_seconds += elapsed
+        memo_key = (
+            _ctp_memo_key(graph, algorithm, seed_sets, config) if context is not None else None
+        )
+        jobs.append(CTPJob(index=index, seed_sets=seed_sets, config=config, memo_key=memo_key))
+        derived.append((sizes, wildcard_positions))
+    outcomes = run_ctp_jobs(graph, algorithm, jobs, context, base_config.parallelism)
+    ctp_tables: List[Table] = []
+    reports: List[CTPReport] = []
+    for ctp, (sizes, wildcard_positions), outcome in zip(query.ctps, derived, outcomes):
         reports.append(
             CTPReport(
                 tree_var=ctp.tree_var,
                 algorithm=algorithm,
                 seed_set_sizes=sizes,
-                result_set=result_set,
-                seconds=elapsed,
-                cache_hit=cache_hit,
+                result_set=outcome.result_set,
+                seconds=outcome.seconds,
+                cache_hit=outcome.cache_hit,
                 shared_context=context is not None,
             )
         )
-        ctp_tables.append(_ctp_table(graph, ctp, result_set, wildcard_positions))
+        ctp_tables.append(_ctp_table(graph, ctp, outcome.result_set, wildcard_positions))
+    ctp_seconds = time.perf_counter() - ctp_started
 
     # Step (C): join everything and project on the head.
     join_started = time.perf_counter()

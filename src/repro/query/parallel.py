@@ -1,0 +1,319 @@
+"""Parallel CTP dispatch and the batch query front-end.
+
+Section 5 of the paper evaluates each CONNECT clause as an independent
+connection-search invocation; step (B) of the evaluator (Section 3) is
+therefore embarrassingly parallel *across CTPs* once the query-scoped
+state is safe to share — which ``SearchContext(thread_safe=True)``
+provides (sharded edge-set pool, locked result caches).  This module is
+the dispatch layer on top:
+
+:func:`run_ctp_jobs`
+    Evaluate a query's CTP jobs serially (``parallelism=1`` — byte-for-
+    byte the historical evaluator loop) or on a ``ThreadPoolExecutor``.
+    The parallel path preserves the serial path's observable semantics:
+
+    * **rows** — each engine run is deterministic given (graph, seeds,
+      config) and never reads another run's private state, so results are
+      bit-identical to serial dispatch regardless of worker count or
+      completion order;
+    * **cross-CTP memo** — duplicate CTPs (same memo key) are grouped and
+      in-flight-deduplicated: one *leader* searches, followers share its
+      result exactly when the serial path would have served a memo hit
+      (complete, untruncated) and re-run otherwise; memo filing happens in
+      CTP order after the batch so the cache's LRU state is deterministic;
+    * **stats** — per-CTP ``SearchStats`` stay attached to their reports
+      and merge in CTP order (:meth:`SearchStats.merged`), never
+      completion order.  Only the shared-pool ``pool_*`` deltas become
+      approximate under concurrency (overlapping attribution).
+
+:func:`evaluate_queries`
+    The batch front-end: run many queries against **one** shared context,
+    so repeated CONNECTs across queries become cross-query memo hits and
+    the interning pool amortizes across the whole batch — the multi-user
+    serving shape (many queries, one graph) rather than the single-query
+    shape.
+
+What a thread pool buys under CPython's GIL: deadline-bounded CTPs
+(per-CTP ``TIMEOUT``) overlap their *wall-clock* budgets — m concurrent
+timeouts cost ~T instead of m*T — and cache-miss stalls interleave.
+CPU-bound complete searches only gain real overlap on multi-core
+free-threaded builds; ``python -m repro.bench parallel`` measures both
+regimes honestly.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.ctp.config import SearchConfig
+from repro.ctp.interning import SearchContext
+from repro.ctp.registry import get_algorithm
+from repro.ctp.results import CTPResultSet
+from repro.ctp.stats import SearchStats
+from repro.graph.backend import resolve_backend
+from repro.graph.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (evaluator imports us)
+    from repro.query.evaluator import QueryResult
+
+
+@dataclass
+class CTPJob:
+    """One CTP evaluation of a query, ready to dispatch.
+
+    ``memo_key`` is the evaluator's cross-CTP memo key, or ``None`` when no
+    context is active (then the job is always searched).  ``index`` is the
+    CTP's position in the query — outcomes are returned in this order.
+    """
+
+    index: int
+    seed_sets: List[Any]
+    config: SearchConfig
+    memo_key: Optional[Hashable] = None
+
+
+@dataclass
+class CTPOutcome:
+    """What one job produced: the result set, memo provenance, timing."""
+
+    result_set: CTPResultSet
+    cache_hit: bool
+    seconds: float
+
+
+def effective_parallelism(parallelism: int, num_jobs: int, context: Optional[SearchContext]) -> int:
+    """Worker count a dispatch will actually use.
+
+    Collapses to serial when there is at most one job, when the caller
+    asked for one worker, or when an *explicit* context is not thread-safe
+    — sharing unlocked state across workers is never worth a corrupted
+    pool, and the serial path is always correct.
+    """
+    if num_jobs <= 1 or parallelism <= 1:
+        return 1
+    if context is not None and not context.thread_safe:
+        return 1
+    return min(parallelism, num_jobs)
+
+
+def _replayable(result_set: CTPResultSet) -> bool:
+    """Serial memo rule: only complete, untruncated runs are safe to share."""
+    return result_set.complete and not result_set.timed_out
+
+
+def run_ctp_jobs(
+    graph: Graph,
+    algorithm: str,
+    jobs: Sequence[CTPJob],
+    context: Optional[SearchContext],
+    parallelism: int = 1,
+) -> List[CTPOutcome]:
+    """Evaluate ``jobs`` and return one :class:`CTPOutcome` per job, in order."""
+    workers = effective_parallelism(parallelism, len(jobs), context)
+    if workers <= 1:
+        return _run_serial(graph, algorithm, jobs, context)
+    return _run_parallel(graph, algorithm, jobs, context, workers)
+
+
+def _run_serial(
+    graph: Graph,
+    algorithm: str,
+    jobs: Sequence[CTPJob],
+    context: Optional[SearchContext],
+) -> List[CTPOutcome]:
+    """The historical evaluator loop: memo get -> search -> memo put, per CTP."""
+    algo = get_algorithm(algorithm)
+    outcomes: List[CTPOutcome] = []
+    for job in jobs:
+        started = time.perf_counter()
+        result_set = None
+        cache_hit = False
+        if context is not None and job.memo_key is not None:
+            result_set = context.ctp_cache.get(job.memo_key)
+            cache_hit = result_set is not None
+        if result_set is None:
+            result_set = algo.run(graph, job.seed_sets, job.config, context=context)
+            # Only complete, untruncated evaluations are safe to replay for
+            # a later CTP: a timeout cut is wall-clock-dependent.
+            if context is not None and job.memo_key is not None and _replayable(result_set):
+                context.ctp_cache.put(job.memo_key, result_set)
+        outcomes.append(CTPOutcome(result_set, cache_hit, time.perf_counter() - started))
+    return outcomes
+
+
+def _run_parallel(
+    graph: Graph,
+    algorithm: str,
+    jobs: Sequence[CTPJob],
+    context: Optional[SearchContext],
+    workers: int,
+) -> List[CTPOutcome]:
+    # Resolve the backend ONCE before fanning out: Graph.freeze() is
+    # memoized but not atomic, so two workers racing the first freeze
+    # would hand the context two distinct (equivalent) snapshots and the
+    # second adoption would be spuriously refused.  Engines re-resolving
+    # the pre-resolved graph is a no-op.
+    graph = resolve_backend(graph, jobs[0].config.backend)
+    algo = get_algorithm(algorithm)
+    outcomes: List[Optional[CTPOutcome]] = [None] * len(jobs)
+
+    # Phase 1 — serve memo hits from earlier queries/batches, in CTP order.
+    pending: List[CTPJob] = []
+    for job in jobs:
+        if context is not None and job.memo_key is not None:
+            cached = context.ctp_cache.get(job.memo_key)
+            if cached is not None:
+                outcomes[job.index] = CTPOutcome(cached, True, 0.0)
+                continue
+        pending.append(job)
+
+    # Phase 2 — group duplicates by memo key (in-flight dedup: one leader
+    # searches per distinct key), fan the leaders out, settle followers.
+    groups: Dict[Hashable, List[CTPJob]] = {}
+    for job in pending:
+        key = job.memo_key if job.memo_key is not None else ("__unkeyed__", job.index)
+        groups.setdefault(key, []).append(job)
+
+    def run_one(job: CTPJob) -> Tuple[CTPResultSet, float]:
+        started = time.perf_counter()
+        result_set = algo.run(graph, job.seed_sets, job.config, context=context)
+        return result_set, time.perf_counter() - started
+
+    followers: List[int] = []
+    with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-ctp") as pool:
+        future_to_group = {pool.submit(run_one, group[0]): group for group in groups.values()}
+        rerun_futures: List[Tuple[CTPJob, Any]] = []
+        # Settle leaders as they finish (not in submission order): a
+        # non-replayable leader's duplicates re-submit immediately, so the
+        # rerun overlaps still-running leaders instead of queueing behind
+        # the slowest one.  Outcomes are written by CTP index, so the
+        # completion order never shows in the results.
+        for future in as_completed(future_to_group):
+            group = future_to_group[future]
+            result_set, seconds = future.result()
+            leader = group[0]
+            outcomes[leader.index] = CTPOutcome(result_set, False, seconds)
+            if _replayable(result_set):
+                # Exactly the runs the serial path would serve as memo hits.
+                for follower in group[1:]:
+                    outcomes[follower.index] = CTPOutcome(result_set, True, 0.0)
+                    followers.append(follower.index)
+            else:
+                rerun_futures.extend((job, pool.submit(run_one, job)) for job in group[1:])
+        for job, future in rerun_futures:
+            result_set, seconds = future.result()
+            outcomes[job.index] = CTPOutcome(result_set, False, seconds)
+
+    # Phase 3 — replay the serial path's cache traffic in CTP order:
+    # leaders file their (replayable) result sets, followers register the
+    # hit.  Doing this after the fan-out keeps the memo's LRU order — and
+    # therefore its eviction choices — independent of worker scheduling.
+    if context is not None:
+        follower_set = set(followers)
+        for job in jobs:
+            outcome = outcomes[job.index]
+            if job.memo_key is None or outcome is None:
+                continue
+            if job.index in follower_set:
+                refreshed = context.ctp_cache.get(job.memo_key)
+                if refreshed is not None:
+                    outcome.result_set = refreshed
+            elif not outcome.cache_hit and _replayable(outcome.result_set):
+                context.ctp_cache.put(job.memo_key, outcome.result_set)
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+# ----------------------------------------------------------------------
+# batch front-end
+# ----------------------------------------------------------------------
+@dataclass
+class BatchResult:
+    """The outcome of :func:`evaluate_queries`: per-query results + context.
+
+    Iterates/indexes like a list of :class:`~repro.query.evaluator.QueryResult`.
+    ``context`` is the shared search context the batch ran in (``None``
+    under ``shared_context=False``); its counters are *cumulative over the
+    batch*, so ``context_stats()`` read after query *k* includes queries
+    ``0..k``.
+    """
+
+    results: List["QueryResult"] = field(default_factory=list)
+    context: Optional[SearchContext] = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator["QueryResult"]:
+        return iter(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    def context_stats(self) -> Optional[Dict[str, int]]:
+        """The shared context's cumulative counters (``None`` without one)."""
+        return self.context.stats_dict() if self.context is not None else None
+
+    def merged_ctp_stats(self) -> SearchStats:
+        """All CTP search counters of the batch, merged in (query, CTP) order.
+
+        Deterministic regardless of worker count: the merge order is the
+        batch's declaration order, never completion order.  Memo-hit CTPs
+        contribute the cached run's stats (they replay its result set).
+        """
+        return SearchStats.merged(
+            report.result_set.stats for result in self.results for report in result.ctp_reports
+        )
+
+
+def evaluate_queries(
+    graph: Graph,
+    queries: Sequence,
+    algorithm: str = "molesp",
+    base_config: Optional[SearchConfig] = None,
+    default_timeout: Optional[float] = None,
+    distinct: bool = True,
+    context: Optional[SearchContext] = None,
+) -> BatchResult:
+    """Evaluate many EQL queries against **one** shared search context.
+
+    The batch shape of the evaluator: queries run sequentially (each
+    query's CTPs dispatch in parallel per ``base_config.parallelism``),
+    but they all adopt the same context — a CONNECT one query evaluated is
+    a cross-query memo hit for every later query that repeats it, and the
+    interning pool warms once for the whole batch.  An empty ``queries``
+    sequence is legal and returns an empty batch.
+
+    The cross-CTP memo stays safe across the batch by construction: its
+    keys carry the graph's size fingerprint, so growing the (append-only)
+    graph between queries invalidates every entry cached before the
+    mutation instead of replaying stale result sets.
+
+    Pass an explicit ``context`` to amortize across *batches*; otherwise
+    one is created per call (thread-safe when ``parallelism > 1``) —
+    unless ``base_config.shared_context`` is false, which keeps the
+    pool-per-CTP A/B baseline and returns ``BatchResult.context = None``.
+    """
+    from repro.query.evaluator import evaluate_query  # local: evaluator imports us
+
+    base_config = base_config or SearchConfig()
+    if context is None and base_config.shared_context:
+        context = SearchContext(
+            interning=base_config.interning,
+            thread_safe=base_config.parallelism > 1,
+        )
+    results = [
+        evaluate_query(
+            graph,
+            query,
+            algorithm=algorithm,
+            base_config=base_config,
+            default_timeout=default_timeout,
+            distinct=distinct,
+            context=context,
+        )
+        for query in queries
+    ]
+    return BatchResult(results=results, context=context)

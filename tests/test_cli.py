@@ -48,6 +48,30 @@ class TestQueryCommand:
         assert code == 0
         assert "Elon" in capsys.readouterr().out
 
+    def test_query_with_parallelism(self, capsys):
+        query = (
+            'SELECT ?w1 ?w2 WHERE { CONNECT("Bob", "Alice") AS ?w1 MAX 3 '
+            'CONNECT("Bob", "USA") AS ?w2 MAX 3 }'
+        )
+        serial = main(["query", query])
+        serial_out = capsys.readouterr().out
+        parallel = main(["query", query, "--parallelism", "4"])
+        parallel_out = capsys.readouterr().out
+        assert serial == 0 and parallel == 0
+        assert "merged in CTP order" in parallel_out
+        # Identical rows: the whole row block (everything above the blank
+        # line that precedes the timing summary) matches exactly.
+        serial_rows = serial_out.split("\n\n")[0]
+        assert "|" in serial_rows  # the block really is the result table
+        assert serial_rows == parallel_out.split("\n\n")[0]
+
+    def test_parallelism_must_be_positive(self, capsys):
+        code = main(
+            ["query", 'SELECT ?w WHERE { CONNECT("Bob", "Alice") AS ?w }', "--parallelism", "0"]
+        )
+        assert code == 1
+        assert "parallelism" in capsys.readouterr().err
+
     def test_bad_query_reports_error(self, capsys):
         code = main(["query", "SELECT ?w WHERE {"])
         assert code == 1

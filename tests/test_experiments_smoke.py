@@ -19,6 +19,7 @@ def test_registry_contains_every_figure_and_table():
         "abl01",
         "backend",
         "interning",
+        "parallel",
         "query-context",
     }
 
@@ -35,6 +36,28 @@ class TestAbl01:
 def test_unknown_experiment():
     with pytest.raises(ReproError):
         get_experiment("fig99")
+
+
+class TestParallelBench:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("parallel")(scale=0.25)
+
+    def test_all_regimes_and_worker_counts_present(self, report):
+        assert {row["regime"] for row in report.rows} == {"complete", "deadline", "batch"}
+        assert {row["workers"] for row in report.rows if row["regime"] == "complete"} == {2, 4, 8}
+
+    def test_deterministic_regimes_row_identical(self, report):
+        for row in report.rows:
+            if row["regime"] in ("complete", "batch"):
+                assert row["identical"] is True
+        assert not any("FAILURE" in note for note in report.notes)
+
+    def test_deadline_regime_saturates(self, report):
+        deadline_rows = [row for row in report.rows if row["regime"] == "deadline"]
+        assert deadline_rows
+        for row in deadline_rows:
+            assert row["ctps_timed_out"] == 4  # every CTP exhausted its budget
 
 
 class TestFig02:
