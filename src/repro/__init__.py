@@ -21,7 +21,16 @@ Quickstart::
         print(result.describe(b.graph))
 """
 
-from repro.graph import Edge, Graph, GraphBuilder, Node, graph_from_triples
+from repro.graph import (
+    Edge,
+    Graph,
+    GraphBuilder,
+    Node,
+    ensure_snapshot,
+    graph_from_triples,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.ctp import (
     ALGORITHMS,
     CTPResultSet,
@@ -34,12 +43,14 @@ from repro.ctp import (
 )
 from repro.query import BatchResult, EQLQuery, QueryResult, evaluate_queries, evaluate_query, parse_query
 from repro.errors import (
+    ConfigError,
     EvaluationError,
     GraphError,
     ParseError,
     QueryError,
     ReproError,
     SearchError,
+    SnapshotError,
     StorageError,
     ValidationError,
 )
@@ -50,6 +61,7 @@ __all__ = [
     "ALGORITHMS",
     "BatchResult",
     "CTPResultSet",
+    "ConfigError",
     "EQLQuery",
     "Edge",
     "EvaluationError",
@@ -65,14 +77,18 @@ __all__ = [
     "SearchConfig",
     "SearchError",
     "SearchStats",
+    "SnapshotError",
     "StorageError",
     "ValidationError",
     "WILDCARD",
+    "ensure_snapshot",
     "evaluate_ctp",
     "evaluate_queries",
     "evaluate_query",
     "get_algorithm",
     "graph_from_triples",
+    "load_snapshot",
     "parse_query",
+    "save_snapshot",
     "__version__",
 ]

@@ -15,6 +15,7 @@ from repro.bench.experiments import (
     micro_backend,
     micro_interning,
     micro_parallel,
+    micro_process_parallel,
     micro_query_context,
     table1_yago,
 )
@@ -34,6 +35,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "backend": micro_backend.run,
     "interning": micro_interning.run,
     "parallel": micro_parallel.run,
+    "process-parallel": micro_process_parallel.run,
     "query-context": micro_query_context.run,
 }
 

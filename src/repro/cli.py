@@ -5,21 +5,25 @@ Examples::
     python -m repro demo
     python -m repro info  --graph data.tsv
     python -m repro query --graph data.tsv "SELECT ?w WHERE { CONNECT(\"A\", \"B\") AS ?w }"
+    python -m repro snapshot --graph data.tsv --out data.snapshot
+    python -m repro query --snapshot data.snapshot --parallelism 4 --parallelism-mode process "..."
     python -m repro bench fig11 --scale 0.5
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.bench.cli import main as bench_main
-from repro.ctp.config import SearchConfig
+from repro.ctp.config import PARALLELISM_MODES, SearchConfig
 from repro.ctp.stats import SearchStats
 from repro.errors import ReproError
 from repro.graph.datasets import figure1
 from repro.graph.io import load_graph_json, load_graph_tsv
+from repro.graph.snapshot import load_snapshot, save_snapshot
 from repro.graph.stats import graph_stats
 from repro.query.evaluator import evaluate_query
 
@@ -30,14 +34,25 @@ def _load_graph(path: str):
     return load_graph_tsv(path)
 
 
+def _resolve_graph(args: argparse.Namespace):
+    """The graph a command should run on: --snapshot, --graph, or Figure 1."""
+    snapshot = getattr(args, "snapshot", None)
+    if snapshot is not None:
+        if args.graph is not None:
+            raise ReproError("pass either --graph or --snapshot, not both")
+        return load_snapshot(snapshot)
+    return figure1() if args.graph is None else _load_graph(args.graph)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    graph = figure1() if args.graph is None else _load_graph(args.graph)
+    graph = _resolve_graph(args)
     try:
         base_config = SearchConfig(
             backend=args.backend,
             interning=not args.no_interning,
             shared_context=args.shared_context,
             parallelism=args.parallelism,
+            parallelism_mode=args.parallelism_mode,
         )
     except ValueError as error:  # bad flag combinations are user errors
         raise ReproError(str(error)) from None
@@ -56,7 +71,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     for report in result.ctp_reports:
         memo = " [ctp-cache hit]" if report.cache_hit else ""
-        print(f"?{report.tree_var}: {report.result_set.stats.format()}{memo}")
+        # Surface the dispatch that actually ran (process dispatch can
+        # degrade to thread/serial for unpicklable jobs).
+        mode = f" [{report.dispatch_mode}]" if args.parallelism > 1 else ""
+        print(f"?{report.tree_var}:{mode} {report.result_set.stats.format()}{memo}")
     if args.parallelism > 1 and len(result.ctp_reports) > 1:
         merged = SearchStats.merged(r.result_set.stats for r in result.ctp_reports)
         print(f"all CTPs x{args.parallelism} workers (merged in CTP order): {merged.format()}")
@@ -72,11 +90,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    graph = figure1() if args.graph is None else _load_graph(args.graph)
+    graph = _resolve_graph(args)
     print(graph)
     print(graph_stats(graph).format())
     labels = sorted(graph.edge_labels())
     print(f"edge labels ({len(labels)}): {', '.join(labels[:20])}{'...' if len(labels) > 20 else ''}")
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    graph = figure1() if args.graph is None else _load_graph(args.graph)
+    path = save_snapshot(graph, args.out)
+    print(
+        f"wrote {path} ({os.path.getsize(path)} bytes): "
+        f"{graph.num_nodes} nodes, {graph.num_edges} edges"
+    )
     return 0
 
 
@@ -133,8 +161,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallelism",
         type=int,
         default=1,
-        help="worker threads for the query's independent CTP evaluations (default 1 = "
-        "serial dispatch; rows are identical at any worker count)",
+        help="workers for the query's independent CTP evaluations (default 1 = "
+        "serial dispatch; rows are identical at any worker count; must be >= 1)",
+    )
+    query.add_argument(
+        "--parallelism-mode",
+        choices=PARALLELISM_MODES,
+        default="thread",
+        help="how --parallelism fans out: 'thread' (wall-clock overlap for "
+        "deadline-bounded CTPs) or 'process' (worker processes over an "
+        "mmap-shared CSR snapshot; real multi-core overlap for CPU-bound searches)",
+    )
+    query.add_argument(
+        "--snapshot",
+        help="binary CSR snapshot file to load the graph from (see the snapshot "
+        "subcommand); mutually exclusive with --graph, reused by process workers",
     )
     query.add_argument("--timeout", type=float, default=30.0, help="per-CTP timeout in seconds")
     query.add_argument("--rows", type=int, default=25, help="max rows to display")
@@ -142,7 +183,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="show statistics of a graph file")
     info.add_argument("--graph", help="TSV triples or JSON graph file (default: Figure 1)")
+    info.add_argument("--snapshot", help="binary CSR snapshot file (mutually exclusive with --graph)")
     info.set_defaults(handler=_cmd_info)
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="serialize a graph into a binary CSR snapshot (mmap-shareable across processes)",
+    )
+    snapshot.add_argument("--graph", help="TSV triples or JSON graph file (default: Figure 1)")
+    snapshot.add_argument("--out", required=True, help="snapshot file to write")
+    snapshot.set_defaults(handler=_cmd_snapshot)
 
     demo = sub.add_parser("demo", help="run the paper's Q1 on the Figure 1 graph")
     demo.set_defaults(handler=_cmd_demo)

@@ -11,11 +11,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, FrozenSet, Optional, Union
 
+from repro.errors import ConfigError
+
+#: Dispatch modes accepted by ``SearchConfig.parallelism_mode``.
+PARALLELISM_MODES = ("thread", "process")
+
 
 class _Wildcard:
     """Sentinel for a seed set equal to all graph nodes (Section 4.9)."""
 
     def __repr__(self) -> str:
+        return "WILDCARD"
+
+    def __reduce__(self):
+        # Pickle as a reference to the module-level singleton so identity
+        # checks (``seed is WILDCARD``) survive crossing a process boundary
+        # (the process-pool dispatcher ships seed sets to workers).
         return "WILDCARD"
 
 
@@ -100,12 +111,22 @@ class SearchConfig:
     parallelism:
         Evaluator-level knob (ignored by standalone engine runs): dispatch
         the independent CTP evaluations of a query to a worker pool of
-        this many threads (:mod:`repro.query.parallel`; default 1 = serial
+        this many workers (:mod:`repro.query.parallel`; default 1 = serial
         dispatch).  Values above 1 make ``evaluate_query`` create its
         query-scoped context *thread-safe* (sharded pool, locked caches).
         Dispatch-only: result rows are bit-identical to serial evaluation
         regardless of worker count — an explicitly passed non-thread-safe
-        context silently falls back to serial dispatch.
+        context silently falls back to serial dispatch under thread mode.
+        Must be >= 1; anything else raises :class:`~repro.errors.ConfigError`.
+    parallelism_mode:
+        How ``parallelism > 1`` fans out: ``"thread"`` (default) uses a
+        ``ThreadPoolExecutor`` over the shared thread-safe context — wall-
+        clock overlap for deadline-bounded CTPs, no extra processes;
+        ``"process"`` uses a ``ProcessPoolExecutor`` whose workers each
+        load the graph once from an mmap-shared CSR snapshot
+        (:mod:`repro.graph.snapshot`) and evaluate CTPs on a private
+        context — real multi-core overlap for CPU-bound complete searches
+        under the GIL.  Rows are bit-identical to serial either way.
     """
 
     uni: bool = False
@@ -125,24 +146,33 @@ class SearchConfig:
     mo_inject_always: bool = False
     shared_context: bool = True
     parallelism: int = 1
+    parallelism_mode: str = "thread"
 
     def __post_init__(self) -> None:
         if self.top_k is not None and self.score is None:
-            raise ValueError("top_k requires a score function (SCORE sigma TOP k)")
+            raise ConfigError("top_k requires a score function (SCORE sigma TOP k)")
         if self.top_k is not None and self.top_k <= 0:
-            raise ValueError("top_k must be positive")
+            raise ConfigError("top_k must be positive")
         if self.limit is not None and self.limit <= 0:
-            raise ValueError("limit must be positive")
+            raise ConfigError("limit must be positive")
         if self.max_edges is not None and self.max_edges < 0:
-            raise ValueError("max_edges must be >= 0")
+            raise ConfigError("max_edges must be >= 0")
         if isinstance(self.order, str) and self.order not in ("size", "score"):
-            raise ValueError(f"unknown order {self.order!r} (use 'size', 'score', or a callable)")
+            raise ConfigError(f"unknown order {self.order!r} (use 'size', 'score', or a callable)")
         if self.order == "score" and self.score is None:
-            raise ValueError("order='score' requires a score function")
-        if self.parallelism < 1:
-            raise ValueError("parallelism must be >= 1 (1 = serial CTP dispatch)")
+            raise ConfigError("order='score' requires a score function")
+        if not isinstance(self.parallelism, int) or self.parallelism < 1:
+            raise ConfigError(
+                f"parallelism must be an integer >= 1 (1 = serial CTP dispatch), "
+                f"got {self.parallelism!r}"
+            )
+        if self.parallelism_mode not in PARALLELISM_MODES:
+            raise ConfigError(
+                f"unknown parallelism_mode {self.parallelism_mode!r} "
+                f"(use one of {', '.join(PARALLELISM_MODES)})"
+            )
         if self.backend not in ("auto", "dict", "csr"):
-            raise ValueError(f"unknown backend {self.backend!r} (use 'auto', 'dict', or 'csr')")
+            raise ConfigError(f"unknown backend {self.backend!r} (use 'auto', 'dict', or 'csr')")
         if self.labels is not None:
             object.__setattr__(self, "labels", frozenset(self.labels))
 

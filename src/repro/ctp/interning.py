@@ -507,40 +507,49 @@ _ATOMIC_TYPES = (str, bytes, bytearray, int, float, complex, bool, type(None))
 def approx_bytes(value: Any, _seen: Optional[set] = None) -> int:
     """Approximate deep memory footprint of ``value`` in bytes.
 
-    The size-aware eviction measure of :class:`ResultCache`: a recursive
+    The size-aware eviction measure of :class:`ResultCache`: a
     ``sys.getsizeof`` walk over containers, dicts, and object attributes
     (``__dict__`` and ``__slots__``), deduplicating shared sub-objects
     *within one value* by identity.  Approximate by design — objects shared
     *between* cache entries are charged to each entry (a conservative
     overestimate), and exotic C-level layouts fall back to their shallow
     size — the point is a stable, cheap eviction signal, not an accountant.
+
+    The walk keeps an explicit stack instead of recursing: cached payloads
+    are caller-supplied, and a deeply nested one (a few thousand levels of
+    tuples is enough) must not blow the interpreter's recursion limit from
+    inside a cache ``put`` mid-query.  Depth is bounded by memory, not by
+    ``sys.getrecursionlimit()``.
     """
-    if _seen is None:
-        _seen = set()
-    oid = id(value)
-    if oid in _seen:
-        return 0
-    _seen.add(oid)
-    size = sys.getsizeof(value)
-    if isinstance(value, _ATOMIC_TYPES):
-        return size
-    if isinstance(value, dict):
-        for key, item in value.items():
-            size += approx_bytes(key, _seen) + approx_bytes(item, _seen)
-        return size
-    if isinstance(value, _SIZED_CONTAINERS):
-        for item in value:
-            size += approx_bytes(item, _seen)
-        return size
-    attrs = getattr(value, "__dict__", None)
-    if attrs is not None:
-        size += approx_bytes(attrs, _seen)
-    for name in getattr(type(value), "__slots__", ()):
-        try:
-            size += approx_bytes(getattr(value, name), _seen)
-        except AttributeError:
+    seen = set() if _seen is None else _seen
+    total = 0
+    stack = [value]
+    while stack:
+        obj = stack.pop()
+        oid = id(obj)
+        if oid in seen:
             continue
-    return size
+        seen.add(oid)
+        total += sys.getsizeof(obj)
+        if isinstance(obj, _ATOMIC_TYPES):
+            continue
+        if isinstance(obj, dict):
+            for key, item in obj.items():
+                stack.append(key)
+                stack.append(item)
+            continue
+        if isinstance(obj, _SIZED_CONTAINERS):
+            stack.extend(obj)
+            continue
+        attrs = getattr(obj, "__dict__", None)
+        if attrs is not None:
+            stack.append(attrs)
+        for name in getattr(type(obj), "__slots__", ()):
+            try:
+                stack.append(getattr(obj, name))
+            except AttributeError:
+                continue
+    return total
 
 
 class ResultCache:

@@ -15,6 +15,14 @@ class GraphError(ReproError):
     """Raised for malformed graph operations (unknown nodes, bad edges...)."""
 
 
+class SnapshotError(GraphError):
+    """Raised when a binary CSR snapshot cannot be read or written.
+
+    Covers bad magic, format-version mismatches, truncated or corrupt
+    files, and byte-order mismatches (:mod:`repro.graph.snapshot`).
+    """
+
+
 class StorageError(ReproError):
     """Raised by the relational substrate (schema mismatches, bad joins)."""
 
@@ -54,6 +62,16 @@ class EvaluationError(QueryError):
 
 class SearchError(ReproError):
     """Raised for invalid CTP search configurations."""
+
+
+class ConfigError(SearchError, ValueError):
+    """Raised when a :class:`~repro.ctp.config.SearchConfig` is invalid.
+
+    Subclasses :class:`ValueError` as well so historical ``except
+    ValueError`` call sites keep working, but carries the library
+    hierarchy (``ReproError`` -> ``SearchError``) so the CLI and servers
+    can surface it as a user error instead of a crash.
+    """
 
 
 class BudgetExceeded(ReproError):

@@ -10,6 +10,7 @@ from repro.graph.graph import Edge, Graph, Node
 from repro.graph.backend import CSRGraph, GraphBackend, backend_name, freeze, resolve_backend
 from repro.graph.builder import GraphBuilder, graph_from_triples
 from repro.graph.io import load_graph_json, load_graph_tsv, save_graph_json, save_graph_tsv
+from repro.graph.snapshot import ensure_snapshot, load_snapshot, save_snapshot
 from repro.graph.stats import GraphStats, connected_components, graph_stats
 from repro.graph.traversal import (
     ball,
@@ -35,11 +36,14 @@ __all__ = [
     "connected_components",
     "dijkstra_distances",
     "eccentricity_between",
+    "ensure_snapshot",
     "graph_from_triples",
     "graph_stats",
     "load_graph_json",
     "load_graph_tsv",
+    "load_snapshot",
     "reachable_set",
     "save_graph_json",
     "save_graph_tsv",
+    "save_snapshot",
 ]

@@ -126,10 +126,33 @@ class CSRGraph:
     snapshot is topology-immutable: :meth:`add_node` / :meth:`add_edge`
     raise :class:`GraphError`; mutate the source graph and call
     :meth:`Graph.freeze` again instead.
+
+    A snapshot can also live *outside* the process: ``repro.graph.snapshot``
+    serializes the flat columns into a versioned binary file and loads them
+    back zero-copy through ``mmap`` (:meth:`_from_columns`), so N worker
+    processes share one physical copy of the adjacency.  ``snapshot_path``
+    is set on instances that came from (or were saved to) such a file.
+    Instances are picklable — the ``memoryview`` columns round-trip through
+    their raw bytes — which the process-pool dispatcher relies on for any
+    graph that has no snapshot file yet.
     """
 
     backend = "csr"
     frozen = True
+
+    #: Flat numeric columns, in serialization order: (attribute, typecode).
+    #: These are exactly the columns the binary snapshot stores and the
+    #: pickle state round-trips; everything else is metadata.
+    _COLUMN_SPECS: Tuple[Tuple[str, str], ...] = (
+        ("_offsets", "q"),
+        ("_adj_edge", "q"),
+        ("_adj_other", "q"),
+        ("_adj_out", "b"),
+        ("_weights", "d"),
+        ("_edge_source", "q"),
+        ("_edge_target", "q"),
+        ("_edge_label_ids", "q"),
+    )
 
     def __init__(self, source: Graph):
         self.name = source.name
@@ -169,10 +192,143 @@ class CSRGraph:
         self._nodes_by_label = {label: tuple(ids) for label, ids in source._nodes_by_label.items()}
         self._nodes_by_type = {name: tuple(ids) for name, ids in source._nodes_by_type.items()}
         self._edges_by_label = {label: array("q", ids) for label, ids in source._edges_by_label.items()}
-        # --- lazy per-node view caches ---
+        self._mmap = None
+        self.snapshot_path: Optional[str] = None
+        self._reset_caches()
+
+    def _reset_caches(self) -> None:
+        """(Re)initialize the lazy per-node view caches."""
+        num_nodes = self._num_nodes
         self._adj_cache: List[Optional[Tuple[AdjacencyEntry, ...]]] = [None] * num_nodes
         self._neighbor_cache: List[Optional[Tuple[int, ...]]] = [None] * num_nodes
         self._filtered_cache: Dict[Tuple[int, FrozenSet[str]], Tuple[AdjacencyEntry, ...]] = {}
+
+    @classmethod
+    def _from_columns(
+        cls,
+        name: str,
+        nodes: List[Node],
+        edges: List[Edge],
+        columns: Dict[str, Any],
+        label_names: List[str],
+        nodes_by_label: Dict[str, Tuple[int, ...]],
+        nodes_by_type: Dict[str, Tuple[int, ...]],
+        edges_by_label: Dict[str, "array"],
+        mmap_obj: Any = None,
+        snapshot_path: Optional[str] = None,
+    ) -> "CSRGraph":
+        """Assemble a snapshot directly from pre-built columns.
+
+        The constructor used by the binary snapshot loader and by
+        unpickling: ``columns`` maps each :attr:`_COLUMN_SPECS` attribute
+        to an ``array`` or (possibly ``mmap``-backed) ``memoryview`` of the
+        right typecode.  ``mmap_obj`` is retained on the instance to pin
+        the mapping for the columns' lifetime.
+        """
+        graph = cls.__new__(cls)
+        graph._assemble(
+            name,
+            nodes,
+            edges,
+            columns,
+            label_names,
+            nodes_by_label,
+            nodes_by_type,
+            edges_by_label,
+            mmap_obj=mmap_obj,
+            snapshot_path=snapshot_path,
+        )
+        return graph
+
+    def _assemble(
+        self,
+        name: str,
+        nodes: List[Node],
+        edges: List[Edge],
+        columns: Dict[str, Any],
+        label_names: List[str],
+        nodes_by_label: Dict[str, Tuple[int, ...]],
+        nodes_by_type: Dict[str, Tuple[int, ...]],
+        edges_by_label: Dict[str, "array"],
+        mmap_obj: Any = None,
+        snapshot_path: Optional[str] = None,
+    ) -> None:
+        """Fill this (raw) instance from pre-built columns and metadata.
+
+        The single assembly path shared by :meth:`_from_columns` (snapshot
+        loading) and :meth:`__setstate__` (unpickling), so column handling
+        cannot diverge between the two.
+        """
+        self.name = name
+        self._num_nodes = len(nodes)
+        self._num_edges = len(edges)
+        self._nodes = nodes
+        self._edges = edges
+        for attr, _ in self._COLUMN_SPECS:
+            self.__dict__[attr] = columns[attr]
+        # Adjacency columns are always exposed as memoryviews so slicing in
+        # the hot accessors stays zero-copy under either storage.
+        for attr in ("_adj_edge", "_adj_other", "_adj_out"):
+            if not isinstance(self.__dict__[attr], memoryview):
+                self.__dict__[attr] = memoryview(self.__dict__[attr])
+        self._label_names = label_names
+        self._nodes_by_label = nodes_by_label
+        self._nodes_by_type = nodes_by_type
+        self._edges_by_label = edges_by_label
+        self._mmap = mmap_obj
+        self.snapshot_path = snapshot_path
+        self._reset_caches()
+
+    # ------------------------------------------------------------------
+    # pickling (memoryview columns round-trip through raw bytes)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        """Picklable state: raw column bytes + metadata, no caches/mmap.
+
+        ``memoryview`` columns (including ``mmap``-backed ones) are
+        rendered to bytes; the lazy view caches are dropped (rebuilt on
+        demand) and the mapping handle stays with this process.
+        """
+        columns = {}
+        for attr, typecode in self._COLUMN_SPECS:
+            # array and memoryview both render to raw bytes the same way.
+            columns[attr] = (typecode, self.__dict__[attr].tobytes())
+        return {
+            "name": self.name,
+            "nodes": self._nodes,
+            "edges": self._edges,
+            "columns": columns,
+            "label_names": self._label_names,
+            "nodes_by_label": self._nodes_by_label,
+            "nodes_by_type": self._nodes_by_type,
+            "edges_by_label": {label: ids.tobytes() for label, ids in self._edges_by_label.items()},
+            "snapshot_path": self.snapshot_path,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        columns: Dict[str, Any] = {}
+        for attr, _ in self._COLUMN_SPECS:
+            typecode, raw = state["columns"][attr]
+            column = array(typecode)
+            column.frombytes(raw)
+            columns[attr] = column
+        edges_by_label = {}
+        for label, raw in state["edges_by_label"].items():
+            ids = array("q")
+            ids.frombytes(raw)
+            edges_by_label[label] = ids
+        self._assemble(
+            state["name"],
+            state["nodes"],
+            state["edges"],
+            columns,
+            state["label_names"],
+            state["nodes_by_label"],
+            state["nodes_by_type"],
+            edges_by_label,
+            mmap_obj=None,
+            snapshot_path=state.get("snapshot_path"),
+        )
 
     # ------------------------------------------------------------------
     # immutability

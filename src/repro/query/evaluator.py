@@ -26,7 +26,11 @@ Step (B)'s per-CTP searches are *dispatched* through
 :mod:`repro.query.parallel`: ``SearchConfig(parallelism=N)`` fans the
 query's independent CTP evaluations out to N worker threads over a
 thread-safe context (sharded pool, locked caches), with in-flight
-deduplication of repeated CTPs standing in for the serial memo order.
+deduplication of repeated CTPs standing in for the serial memo order;
+``parallelism_mode="process"`` fans out to worker *processes* instead,
+each loading the graph once from an mmap-shared CSR snapshot
+(:mod:`repro.graph.snapshot`) — real multi-core overlap for CPU-bound
+complete searches under the GIL.
 Dispatch is representation-only too — rows are bit-identical to serial
 evaluation regardless of worker count (``python -m repro.bench parallel``
 A/Bs the worker counts and re-checks equality).  The batch counterpart
@@ -71,6 +75,13 @@ class CTPReport:
     #: True when the evaluation ran inside a shared query context (pool
     #: counters in ``result_set.stats`` are per-run deltas in that case).
     shared_context: bool = False
+    #: What actually produced this CTP's result: "serial", "thread", or
+    #: "process" when a search executed, "memo" when it was served from
+    #: the cross-CTP memo without running.  May differ from the requested
+    #: ``parallelism_mode``: process dispatch degrades to thread/serial
+    #: when jobs cannot cross a process boundary — silently for the
+    #: query, but recorded here.
+    dispatch_mode: str = "serial"
 
 
 @dataclass
@@ -391,8 +402,11 @@ def evaluate_query(
         query = parse_query(query)
     base_config = base_config or SearchConfig()
     if context is None and base_config.shared_context:
-        # Parallel dispatch shares the context across worker threads, so it
-        # must be born thread-safe (sharded pool, locked caches).
+        # Thread dispatch shares the context across worker threads, so it
+        # must be born thread-safe (sharded pool, locked caches).  Process
+        # dispatch only touches it from the parent, but keeping it
+        # thread-safe there too lets an unpicklable workload degrade to
+        # thread dispatch instead of all the way to serial.
         context = SearchContext(
             interning=base_config.interning,
             thread_safe=base_config.parallelism > 1,
@@ -427,7 +441,9 @@ def evaluate_query(
         )
         jobs.append(CTPJob(index=index, seed_sets=seed_sets, config=config, memo_key=memo_key))
         derived.append((sizes, wildcard_positions))
-    outcomes = run_ctp_jobs(graph, algorithm, jobs, context, base_config.parallelism)
+    outcomes = run_ctp_jobs(
+        graph, algorithm, jobs, context, base_config.parallelism, base_config.parallelism_mode
+    )
     ctp_tables: List[Table] = []
     reports: List[CTPReport] = []
     for ctp, (sizes, wildcard_positions), outcome in zip(query.ctps, derived, outcomes):
@@ -440,6 +456,7 @@ def evaluate_query(
                 seconds=outcome.seconds,
                 cache_hit=outcome.cache_hit,
                 shared_context=context is not None,
+                dispatch_mode=outcome.mode,
             )
         )
         ctp_tables.append(_ctp_table(graph, ctp, outcome.result_set, wildcard_positions))

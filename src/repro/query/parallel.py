@@ -9,8 +9,10 @@ the dispatch layer on top:
 
 :func:`run_ctp_jobs`
     Evaluate a query's CTP jobs serially (``parallelism=1`` — byte-for-
-    byte the historical evaluator loop) or on a ``ThreadPoolExecutor``.
-    The parallel path preserves the serial path's observable semantics:
+    byte the historical evaluator loop), on a ``ThreadPoolExecutor``
+    (``parallelism_mode="thread"``), or on a ``ProcessPoolExecutor``
+    (``parallelism_mode="process"``).  Every pooled path preserves the
+    serial path's observable semantics:
 
     * **rows** — each engine run is deterministic given (graph, seeds,
       config) and never reads another run's private state, so results are
@@ -39,12 +41,31 @@ timeouts cost ~T instead of m*T — and cache-miss stalls interleave.
 CPU-bound complete searches only gain real overlap on multi-core
 free-threaded builds; ``python -m repro.bench parallel`` measures both
 regimes honestly.
+
+The **process pool** (``SearchConfig(parallelism_mode="process")``) is the
+CPU-bound answer under the GIL: workers are separate interpreters, each
+initialized *once* with the path of an mmap-shared CSR snapshot
+(:func:`repro.graph.snapshot.ensure_snapshot` — written on demand, reused
+when the graph already has one), so N workers share one physical copy of
+the adjacency columns and pay the graph load once per worker, not per
+job.  Each worker evaluates its CTPs against a private
+:class:`SearchContext`; the parent keeps serving and filing its own
+cross-CTP memo in CTP order, so rows *and* memo LRU state stay identical
+to serial dispatch.  When the jobs cannot cross a process boundary (an
+unpicklable score callable, graph properties pickle refuses, a broken
+pool), dispatch degrades to the thread pool — or serial — rather than
+failing the query; ``python -m repro.bench process-parallel`` measures
+what each mode buys.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
@@ -53,8 +74,10 @@ from repro.ctp.interning import SearchContext
 from repro.ctp.registry import get_algorithm
 from repro.ctp.results import CTPResultSet
 from repro.ctp.stats import SearchStats
+from repro.errors import ReproError
 from repro.graph.backend import resolve_backend
 from repro.graph.graph import Graph
+from repro.graph.snapshot import ensure_snapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (evaluator imports us)
     from repro.query.evaluator import QueryResult
@@ -77,24 +100,43 @@ class CTPJob:
 
 @dataclass
 class CTPOutcome:
-    """What one job produced: the result set, memo provenance, timing."""
+    """What one job produced: the result set, memo provenance, timing.
+
+    ``mode`` records what actually produced the result: ``"serial"``,
+    ``"thread"``, or ``"process"`` for an executed search, ``"memo"`` when
+    the result was served from the cross-CTP memo (or shared from an
+    in-flight duplicate) and no search ran for this job at all.  It can
+    therefore differ from the requested ``parallelism_mode`` — process
+    dispatch degrades to thread/serial for unpicklable jobs or a broken
+    pool: the fallback is silent by design, but it must stay *observable*
+    so a ~0.9x thread run never masquerades as multi-core.
+    """
 
     result_set: CTPResultSet
     cache_hit: bool
     seconds: float
+    mode: str = "serial"
 
 
-def effective_parallelism(parallelism: int, num_jobs: int, context: Optional[SearchContext]) -> int:
+def effective_parallelism(
+    parallelism: int,
+    num_jobs: int,
+    context: Optional[SearchContext],
+    mode: str = "thread",
+) -> int:
     """Worker count a dispatch will actually use.
 
     Collapses to serial when there is at most one job, when the caller
-    asked for one worker, or when an *explicit* context is not thread-safe
-    — sharing unlocked state across workers is never worth a corrupted
-    pool, and the serial path is always correct.
+    asked for one worker, or when — under *thread* mode — an explicit
+    context is not thread-safe: sharing unlocked state across workers is
+    never worth a corrupted pool, and the serial path is always correct.
+    Process mode never shares the context with workers (only the parent
+    thread touches it, for memo serve/file), so a non-thread-safe context
+    does not downgrade it.
     """
     if num_jobs <= 1 or parallelism <= 1:
         return 1
-    if context is not None and not context.thread_safe:
+    if mode == "thread" and context is not None and not context.thread_safe:
         return 1
     return min(parallelism, num_jobs)
 
@@ -110,11 +152,14 @@ def run_ctp_jobs(
     jobs: Sequence[CTPJob],
     context: Optional[SearchContext],
     parallelism: int = 1,
+    mode: str = "thread",
 ) -> List[CTPOutcome]:
     """Evaluate ``jobs`` and return one :class:`CTPOutcome` per job, in order."""
-    workers = effective_parallelism(parallelism, len(jobs), context)
+    workers = effective_parallelism(parallelism, len(jobs), context, mode)
     if workers <= 1:
         return _run_serial(graph, algorithm, jobs, context)
+    if mode == "process":
+        return _run_process(graph, algorithm, jobs, context, workers)
     return _run_parallel(graph, algorithm, jobs, context, workers)
 
 
@@ -140,8 +185,99 @@ def _run_serial(
             # a later CTP: a timeout cut is wall-clock-dependent.
             if context is not None and job.memo_key is not None and _replayable(result_set):
                 context.ctp_cache.put(job.memo_key, result_set)
-        outcomes.append(CTPOutcome(result_set, cache_hit, time.perf_counter() - started))
+        outcomes.append(
+            CTPOutcome(
+                result_set,
+                cache_hit,
+                time.perf_counter() - started,
+                mode="memo" if cache_hit else "serial",
+            )
+        )
     return outcomes
+
+
+def _fan_out(
+    jobs: Sequence[CTPJob],
+    context: Optional[SearchContext],
+    pool: Any,
+    submit_one: Any,
+) -> Tuple[List[Optional[CTPOutcome]], List[int]]:
+    """Phases 1-2 of a pooled dispatch, executor-agnostic.
+
+    ``submit_one(pool, job)`` must return a future resolving to
+    ``(result_set, seconds)``; the thread path closes over the shared
+    context, the process path ships the job to a worker interpreter.
+
+    Phase 1 serves memo hits from earlier queries/batches in CTP order;
+    phase 2 groups duplicates by memo key (in-flight dedup: one *leader*
+    searches per distinct key), fans the leaders out, and settles
+    followers.  Leaders settle as they finish (not in submission order): a
+    non-replayable leader's duplicates re-submit immediately, so the rerun
+    overlaps still-running leaders instead of queueing behind the slowest
+    one.  Outcomes are written by CTP index, so the completion order never
+    shows in the results.
+    """
+    outcomes: List[Optional[CTPOutcome]] = [None] * len(jobs)
+    pending: List[CTPJob] = []
+    for job in jobs:
+        if context is not None and job.memo_key is not None:
+            cached = context.ctp_cache.get(job.memo_key)
+            if cached is not None:
+                outcomes[job.index] = CTPOutcome(cached, True, 0.0)
+                continue
+        pending.append(job)
+
+    groups: Dict[Hashable, List[CTPJob]] = {}
+    for job in pending:
+        key = job.memo_key if job.memo_key is not None else ("__unkeyed__", job.index)
+        groups.setdefault(key, []).append(job)
+
+    followers: List[int] = []
+    future_to_group = {submit_one(pool, group[0]): group for group in groups.values()}
+    rerun_futures: List[Tuple[CTPJob, Any]] = []
+    for future in as_completed(future_to_group):
+        group = future_to_group[future]
+        result_set, seconds = future.result()
+        leader = group[0]
+        outcomes[leader.index] = CTPOutcome(result_set, False, seconds)
+        if _replayable(result_set):
+            # Exactly the runs the serial path would serve as memo hits.
+            for follower in group[1:]:
+                outcomes[follower.index] = CTPOutcome(result_set, True, 0.0)
+                followers.append(follower.index)
+        else:
+            rerun_futures.extend((job, submit_one(pool, job)) for job in group[1:])
+    for job, future in rerun_futures:
+        result_set, seconds = future.result()
+        outcomes[job.index] = CTPOutcome(result_set, False, seconds)
+    return outcomes, followers
+
+
+def _replay_memo(
+    jobs: Sequence[CTPJob],
+    outcomes: List[Optional[CTPOutcome]],
+    followers: List[int],
+    context: Optional[SearchContext],
+) -> None:
+    """Phase 3 — replay the serial path's cache traffic in CTP order.
+
+    Leaders file their (replayable) result sets, followers register the
+    hit.  Running this after the fan-out keeps the memo's LRU order — and
+    therefore its eviction choices — independent of worker scheduling.
+    """
+    if context is None:
+        return
+    follower_set = set(followers)
+    for job in jobs:
+        outcome = outcomes[job.index]
+        if job.memo_key is None or outcome is None:
+            continue
+        if job.index in follower_set:
+            refreshed = context.ctp_cache.get(job.memo_key)
+            if refreshed is not None:
+                outcome.result_set = refreshed
+        elif not outcome.cache_hit and _replayable(outcome.result_set):
+            context.ctp_cache.put(job.memo_key, outcome.result_set)
 
 
 def _run_parallel(
@@ -158,72 +294,171 @@ def _run_parallel(
     # the pre-resolved graph is a no-op.
     graph = resolve_backend(graph, jobs[0].config.backend)
     algo = get_algorithm(algorithm)
-    outcomes: List[Optional[CTPOutcome]] = [None] * len(jobs)
-
-    # Phase 1 — serve memo hits from earlier queries/batches, in CTP order.
-    pending: List[CTPJob] = []
-    for job in jobs:
-        if context is not None and job.memo_key is not None:
-            cached = context.ctp_cache.get(job.memo_key)
-            if cached is not None:
-                outcomes[job.index] = CTPOutcome(cached, True, 0.0)
-                continue
-        pending.append(job)
-
-    # Phase 2 — group duplicates by memo key (in-flight dedup: one leader
-    # searches per distinct key), fan the leaders out, settle followers.
-    groups: Dict[Hashable, List[CTPJob]] = {}
-    for job in pending:
-        key = job.memo_key if job.memo_key is not None else ("__unkeyed__", job.index)
-        groups.setdefault(key, []).append(job)
 
     def run_one(job: CTPJob) -> Tuple[CTPResultSet, float]:
         started = time.perf_counter()
         result_set = algo.run(graph, job.seed_sets, job.config, context=context)
         return result_set, time.perf_counter() - started
 
-    followers: List[int] = []
     with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-ctp") as pool:
-        future_to_group = {pool.submit(run_one, group[0]): group for group in groups.values()}
-        rerun_futures: List[Tuple[CTPJob, Any]] = []
-        # Settle leaders as they finish (not in submission order): a
-        # non-replayable leader's duplicates re-submit immediately, so the
-        # rerun overlaps still-running leaders instead of queueing behind
-        # the slowest one.  Outcomes are written by CTP index, so the
-        # completion order never shows in the results.
-        for future in as_completed(future_to_group):
-            group = future_to_group[future]
-            result_set, seconds = future.result()
-            leader = group[0]
-            outcomes[leader.index] = CTPOutcome(result_set, False, seconds)
-            if _replayable(result_set):
-                # Exactly the runs the serial path would serve as memo hits.
-                for follower in group[1:]:
-                    outcomes[follower.index] = CTPOutcome(result_set, True, 0.0)
-                    followers.append(follower.index)
-            else:
-                rerun_futures.extend((job, pool.submit(run_one, job)) for job in group[1:])
-        for job, future in rerun_futures:
-            result_set, seconds = future.result()
-            outcomes[job.index] = CTPOutcome(result_set, False, seconds)
+        outcomes, followers = _fan_out(jobs, context, pool, lambda p, job: p.submit(run_one, job))
+    _replay_memo(jobs, outcomes, followers, context)
+    return _stamp_mode(outcomes, "thread")
 
-    # Phase 3 — replay the serial path's cache traffic in CTP order:
-    # leaders file their (replayable) result sets, followers register the
-    # hit.  Doing this after the fan-out keeps the memo's LRU order — and
-    # therefore its eviction choices — independent of worker scheduling.
-    if context is not None:
-        follower_set = set(followers)
-        for job in jobs:
-            outcome = outcomes[job.index]
-            if job.memo_key is None or outcome is None:
-                continue
-            if job.index in follower_set:
-                refreshed = context.ctp_cache.get(job.memo_key)
-                if refreshed is not None:
-                    outcome.result_set = refreshed
-            elif not outcome.cache_hit and _replayable(outcome.result_set):
-                context.ctp_cache.put(job.memo_key, outcome.result_set)
-    return [outcome for outcome in outcomes if outcome is not None]
+
+def _stamp_mode(outcomes: List[Optional[CTPOutcome]], mode: str) -> List[CTPOutcome]:
+    """Record what produced each outcome and drop the ``None`` gaps.
+
+    Only jobs whose search actually executed get the pool's mode; outcomes
+    served from the memo (phase 1) or shared from an in-flight leader
+    never reached a worker, and claiming they ran "process" would defeat
+    the observability the field exists for.
+    """
+    settled = [outcome for outcome in outcomes if outcome is not None]
+    for outcome in settled:
+        outcome.mode = "memo" if outcome.cache_hit else mode
+    return settled
+
+
+# ----------------------------------------------------------------------
+# process-pool dispatch (mmap-shared snapshot, load-once-per-worker)
+# ----------------------------------------------------------------------
+#: Per-worker state: the snapshot graph loaded by the initializer and the
+#: worker-private search context every job of this worker runs in.  Plain
+#: module globals — each worker interpreter has its own copy.
+_worker_graph: Any = None
+_worker_context: Optional[SearchContext] = None
+
+
+def _process_worker_init(snapshot_path: str, interning: bool) -> None:
+    """Executor initializer: load the mmap-shared snapshot ONCE per worker.
+
+    Every job this worker ever runs reuses the same graph object (so the
+    kernel shares the snapshot's pages across all workers mapping it) and
+    the same private context (so sibling CTPs dispatched to this worker
+    still get pool/cache reuse, just scoped to the worker).
+    """
+    global _worker_graph, _worker_context
+    from repro.graph.snapshot import load_snapshot
+
+    _worker_graph = load_snapshot(snapshot_path)
+    _worker_context = SearchContext(interning=interning)
+
+
+def _process_worker_run(
+    algorithm: str, seed_sets: List[Any], config: SearchConfig
+) -> Tuple[CTPResultSet, float]:
+    """Evaluate one CTP inside a worker against the worker's graph/context."""
+    started = time.perf_counter()
+    result_set = get_algorithm(algorithm).run(
+        _worker_graph, seed_sets, config, context=_worker_context
+    )
+    return result_set, time.perf_counter() - started
+
+
+def _process_pool_context() -> multiprocessing.context.BaseContext:
+    """Pick a start method that is both safe and cheap for this dispatch.
+
+    Plain ``fork`` is the cheapest start (no re-import, instant workers)
+    but is unsafe the moment the parent has *other running threads* —
+    exactly the serving regime this feature targets — because the child
+    inherits a snapshot of every lock (logging, allocator) in whatever
+    state some unrelated thread held it, and can deadlock in its
+    initializer.  So fork is used only when the parent is provably
+    single-threaded *right now* (only an existing thread could spawn a new
+    one mid-fork, so the check cannot be raced); a threaded parent gets
+    ``forkserver`` — workers forked from a clean single-thread helper
+    process — and platforms without either (Windows) keep their default
+    (``spawn``), which is already safe.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if threading.active_count() == 1 and "fork" in methods:
+        return multiprocessing.get_context("fork")
+    if "forkserver" in methods:
+        return multiprocessing.get_context("forkserver")
+    return multiprocessing.get_context()
+
+
+def _jobs_picklable(algorithm: str, jobs: Sequence[CTPJob]) -> bool:
+    """Pre-flight: can every job cross a process boundary?
+
+    A ``SearchConfig`` carrying a lambda/closure score function (or seed
+    values pickle refuses) cannot be shipped to a worker; detecting that
+    up front lets dispatch degrade gracefully instead of raising from
+    deep inside the executor machinery.
+    """
+    try:
+        pickle.dumps((algorithm, [(job.seed_sets, job.config) for job in jobs]))
+        return True
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return False
+
+
+def _fallback_dispatch(
+    graph: Graph,
+    algorithm: str,
+    jobs: Sequence[CTPJob],
+    context: Optional[SearchContext],
+    workers: int,
+) -> List[CTPOutcome]:
+    """Process dispatch unavailable: degrade to threads, else serial.
+
+    Used when the jobs or graph cannot be pickled/snapshotted, or when the
+    worker pool breaks mid-flight.  Thread dispatch requires a thread-safe
+    (or absent) context; otherwise the always-correct serial loop runs.
+    """
+    if context is None or context.thread_safe:
+        return _run_parallel(graph, algorithm, jobs, context, workers)
+    return _run_serial(graph, algorithm, jobs, context)
+
+
+def _run_process(
+    graph: Graph,
+    algorithm: str,
+    jobs: Sequence[CTPJob],
+    context: Optional[SearchContext],
+    workers: int,
+) -> List[CTPOutcome]:
+    """Fan the jobs out to worker *processes* over an mmap-shared snapshot.
+
+    The parent resolves the backend and obtains a snapshot file for the
+    graph (reusing one when the graph was loaded from — or already saved
+    to — a snapshot); workers load it once in their initializer.  Memo
+    serve/file happens entirely in the parent (phases 1/3 of
+    :func:`_fan_out`/:func:`_replay_memo`), in CTP order, so cache state
+    matches serial dispatch exactly.  Rows are bit-identical to serial:
+    each engine run is deterministic given (graph, seeds, config), and the
+    CSR snapshot preserves ids, adjacency order, labels, and weights
+    exactly (see ``tests/test_snapshot.py``).
+    """
+    resolved = resolve_backend(graph, jobs[0].config.backend)
+    try:
+        _, snapshot_path = ensure_snapshot(resolved)
+    except (ReproError, OSError, pickle.PicklingError, TypeError, AttributeError):
+        # Unserializable metadata (e.g. exotic node properties): the graph
+        # cannot cross a process boundary.
+        return _fallback_dispatch(resolved, algorithm, jobs, context, workers)
+    if not _jobs_picklable(algorithm, jobs):
+        return _fallback_dispatch(resolved, algorithm, jobs, context, workers)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_process_pool_context(),
+            initializer=_process_worker_init,
+            initargs=(snapshot_path, jobs[0].config.interning),
+        ) as pool:
+            outcomes, followers = _fan_out(
+                jobs,
+                context,
+                pool,
+                lambda p, job: p.submit(
+                    _process_worker_run, algorithm, job.seed_sets, job.config
+                ),
+            )
+    except BrokenProcessPool:
+        return _fallback_dispatch(resolved, algorithm, jobs, context, workers)
+    _replay_memo(jobs, outcomes, followers, context)
+    return _stamp_mode(outcomes, "process")
 
 
 # ----------------------------------------------------------------------

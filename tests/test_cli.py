@@ -72,10 +72,82 @@ class TestQueryCommand:
         assert code == 1
         assert "parallelism" in capsys.readouterr().err
 
+    def test_negative_parallelism_is_a_clean_user_error(self, capsys):
+        """--parallelism -3 must exit 1 with a clear message, not traceback."""
+        code = main(
+            ["query", 'SELECT ?w WHERE { CONNECT("Bob", "Alice") AS ?w }', "--parallelism", "-3"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "parallelism" in err and ">= 1" in err
+
+    def test_parallelism_mode_process(self, capsys):
+        query = (
+            'SELECT ?w1 ?w2 WHERE { CONNECT("Bob", "Alice") AS ?w1 MAX 3 '
+            'CONNECT("Bob", "USA") AS ?w2 MAX 3 }'
+        )
+        serial = main(["query", query])
+        serial_out = capsys.readouterr().out
+        process = main(
+            ["query", query, "--parallelism", "2", "--parallelism-mode", "process"]
+        )
+        process_out = capsys.readouterr().out
+        assert serial == 0 and process == 0
+        assert serial_out.split("\n\n")[0] == process_out.split("\n\n")[0]
+
+    def test_parallelism_mode_rejects_unknown_value(self):
+        with pytest.raises(SystemExit):  # argparse choices
+            main(["query", "SELECT ?w WHERE { CONNECT(\"A\", \"B\") AS ?w }",
+                  "--parallelism-mode", "fibers"])
+
     def test_bad_query_reports_error(self, capsys):
         code = main(["query", "SELECT ?w WHERE {"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestSnapshotCommands:
+    def test_snapshot_roundtrip_through_cli(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.json"
+        save_graph_json(figure1(), graph_path)
+        snap_path = tmp_path / "g.snapshot"
+        code = main(["snapshot", "--graph", str(graph_path), "--out", str(snap_path)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert snap_path.exists()
+
+        query = 'SELECT ?w WHERE { CONNECT("Bob", "Alice") AS ?w MAX 3 }'
+        plain = main(["query", query, "--graph", str(graph_path)])
+        plain_out = capsys.readouterr().out
+        snapped = main(["query", query, "--snapshot", str(snap_path)])
+        snapped_out = capsys.readouterr().out
+        assert plain == 0 and snapped == 0
+        assert plain_out.split("\n\n")[0] == snapped_out.split("\n\n")[0]
+
+    def test_info_on_snapshot(self, tmp_path, capsys):
+        snap_path = tmp_path / "fig1.snapshot"
+        assert main(["snapshot", "--out", str(snap_path)]) == 0
+        capsys.readouterr()
+        assert main(["info", "--snapshot", str(snap_path)]) == 0
+        assert "nodes=12" in capsys.readouterr().out
+
+    def test_graph_and_snapshot_are_mutually_exclusive(self, tmp_path, capsys):
+        snap_path = tmp_path / "fig1.snapshot"
+        assert main(["snapshot", "--out", str(snap_path)]) == 0
+        capsys.readouterr()
+        code = main(
+            ["query", 'SELECT ?w WHERE { CONNECT("Bob", "Alice") AS ?w }',
+             "--graph", str(snap_path), "--snapshot", str(snap_path)]
+        )
+        assert code == 1
+        assert "either --graph or --snapshot" in capsys.readouterr().err
+
+    def test_corrupt_snapshot_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.snapshot"
+        bad.write_bytes(b"this is not a snapshot")
+        code = main(["info", "--snapshot", str(bad)])
+        assert code == 1
+        assert "bad magic" in capsys.readouterr().err
 
 
 class TestOtherCommands:

@@ -5,12 +5,14 @@ import pytest
 from repro.ctp.registry import ALGORITHMS, COMPLETE_ALGORITHMS, evaluate_ctp, get_algorithm
 from repro.errors import (
     BudgetExceeded,
+    ConfigError,
     EvaluationError,
     GraphError,
     ParseError,
     QueryError,
     ReproError,
     SearchError,
+    SnapshotError,
     StorageError,
     ValidationError,
     WorkloadError,
@@ -30,6 +32,11 @@ def test_hierarchy():
     assert issubclass(ParseError, QueryError)
     assert issubclass(ValidationError, QueryError)
     assert issubclass(EvaluationError, QueryError)
+    assert issubclass(SnapshotError, GraphError)
+    # ConfigError keeps historical `except ValueError` call sites working
+    # while still being catchable as a library error.
+    assert issubclass(ConfigError, SearchError)
+    assert issubclass(ConfigError, ValueError)
 
 
 def test_parse_error_position_rendering():

@@ -18,6 +18,7 @@ Five layers:
 
 from __future__ import annotations
 
+import sys
 import threading
 
 import pytest
@@ -419,6 +420,42 @@ class TestSizeAwareResultCache:
         assert approx_bytes(Slotted()) > approx_bytes("payload")
         shared = tuple(range(100))
         assert approx_bytes((shared, shared)) < 2 * approx_bytes(shared) + 128
+
+    def test_approx_bytes_deeply_nested_payloads(self):
+        """Regression: the size walk used to recurse once per nesting level
+        and raise RecursionError on payloads a few thousand levels deep,
+        killing the evaluation from inside a cache put."""
+        depth = sys.getrecursionlimit() * 3
+        nested = ()
+        for _ in range(depth):
+            nested = (nested,)
+        assert approx_bytes(nested) >= depth * sys.getsizeof(())
+
+        chain = {}
+        for _ in range(depth):
+            chain = {"next": chain}
+        assert approx_bytes(chain) > 0
+
+        deep_list = []
+        for _ in range(depth):
+            deep_list = [deep_list]
+        assert approx_bytes(deep_list) > 0
+
+    def test_deep_payload_in_bytes_bounded_cache(self):
+        """The ISSUE scenario: storing a ~2000-deep nested tuple in a
+        max_bytes-bounded ResultCache must size (and evict) it, not die."""
+        nested = ()
+        for _ in range(2000):
+            nested = (nested,)
+        size = approx_bytes(nested)
+        cache = ResultCache(maxsize=10, max_bytes=size + 1024)
+        cache.put("deep", nested)
+        assert cache.get("deep") is nested
+        assert cache.total_bytes >= size
+        # An oversized deep payload is sized without recursion and dropped.
+        tiny = ResultCache(maxsize=10, max_bytes=64)
+        tiny.put("deep", nested)
+        assert len(tiny) == 0 and tiny.evictions == 1
 
 
 # ----------------------------------------------------------------------

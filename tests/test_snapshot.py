@@ -1,0 +1,396 @@
+"""Binary CSR snapshots: round-trip fidelity, mmap loading, error paths.
+
+Four layers:
+
+* **round-trip** — save → load (mmap and plain) must reproduce the CSR
+  view exactly: adjacency (order included), labels, types, properties,
+  weights, endpoints, and the label/type indexes;
+* **query equivalence** — a Hypothesis property: on random graphs, every
+  one of the 8 algorithms returns identical result rows on the loaded
+  snapshot, and ``evaluate_query`` returns identical rows end-to-end;
+* **error paths** — bad magic, unsupported version, truncation at any
+  prefix, and corrupt headers all raise :class:`SnapshotError` up front;
+* **pickling** — the satellite regression: ``pickle.dumps(graph.freeze())``
+  used to raise ``TypeError`` (memoryview columns); now CSRGraph
+  round-trips through pickle, mmap-backed instances included.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ctp.registry import ALGORITHMS, evaluate_ctp
+from repro.errors import SnapshotError
+from repro.graph.backend import CSRGraph
+from repro.graph.datasets import figure1, figure1_seed_sets
+from repro.graph.graph import Graph
+from repro.graph.snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    ensure_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.query.evaluator import evaluate_query
+from repro.testing import random_graph, random_seed_sets
+
+
+def rich_graph() -> Graph:
+    """A small graph exercising every metadata feature the format stores:
+    types, properties, weights, parallel edges, self-loops, empty labels."""
+    graph = Graph("rich")
+    a = graph.add_node("Alice", types=("person", "engineer"), age=33, tags=["x", "y"])
+    b = graph.add_node("Bob", types=("person",))
+    c = graph.add_node("", types=())  # unlabeled node
+    graph.add_edge(a, b, "knows", weight=2.5, since=2019)
+    graph.add_edge(a, b, "knows", weight=0.5)  # parallel edge
+    graph.add_edge(b, a, "mentors", weight=1.25)
+    graph.add_edge(c, c, "self", weight=3.0)  # self-loop
+    graph.add_edge(b, c, "", weight=1.0)  # empty edge label
+    return graph
+
+
+def assert_same_graph_view(left, right) -> None:
+    """The full GraphBackend read surface matches, order included."""
+    assert left.name == right.name
+    assert left.num_nodes == right.num_nodes
+    assert left.num_edges == right.num_edges
+    for node_id in left.node_ids():
+        assert left.adjacent(node_id) == right.adjacent(node_id)
+        assert left.neighbor_ids(node_id) == right.neighbor_ids(node_id)
+        assert left.degree(node_id) == right.degree(node_id)
+        ln, rn = left.node(node_id), right.node(node_id)
+        assert (ln.label, ln.types, ln.props) == (rn.label, rn.types, rn.props)
+    for edge_id in left.edge_ids():
+        assert left.edge_weight(edge_id) == right.edge_weight(edge_id)
+        assert left.edge_label(edge_id) == right.edge_label(edge_id)
+        assert left.edge_endpoints(edge_id) == right.edge_endpoints(edge_id)
+        le, re = left.edge(edge_id), right.edge(edge_id)
+        assert (le.label, le.weight, le.props) == (re.label, re.weight, re.props)
+    assert left.node_labels() == right.node_labels()
+    assert left.edge_labels() == right.edge_labels()
+    for label in left.node_labels():
+        assert left.nodes_with_label(label) == right.nodes_with_label(label)
+    for label in left.edge_labels():
+        assert left.edges_with_label(label) == right.edges_with_label(label)
+    type_names = {t for node in left.nodes() for t in node.types}
+    for type_name in type_names:
+        assert left.nodes_with_type(type_name) == right.nodes_with_type(type_name)
+
+
+def result_rows(result_set):
+    return [(r.edges, r.nodes, r.seeds, r.weight, r.score) for r in result_set]
+
+
+# ----------------------------------------------------------------------
+# round-trip fidelity
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @pytest.mark.parametrize("use_mmap", [True, False], ids=["mmap", "arrays"])
+    def test_figure1_roundtrip(self, tmp_path, use_mmap):
+        graph = figure1()
+        path = save_snapshot(graph, tmp_path / "fig1.snapshot")
+        loaded = load_snapshot(path, use_mmap=use_mmap)
+        assert_same_graph_view(graph.freeze(), loaded)
+        assert loaded.backend == "csr"
+        assert loaded.snapshot_path == str(path)
+
+    @pytest.mark.parametrize("use_mmap", [True, False], ids=["mmap", "arrays"])
+    def test_rich_metadata_roundtrip(self, tmp_path, use_mmap):
+        graph = rich_graph()
+        path = save_snapshot(graph, tmp_path / "rich.snapshot")
+        loaded = load_snapshot(path, use_mmap=use_mmap)
+        assert_same_graph_view(graph.freeze(), loaded)
+        assert loaded.node(0).property("age") == 33
+        assert loaded.edge(0).property("since") == 2019
+        assert loaded.describe_edge(0) == graph.describe_edge(0)
+
+    def test_empty_and_tiny_graphs(self, tmp_path):
+        empty = Graph("empty")
+        loaded = load_snapshot(save_snapshot(empty, tmp_path / "empty.snapshot"))
+        assert loaded.num_nodes == 0 and loaded.num_edges == 0
+        single = Graph("single")
+        single.add_node("only", types=("t",))
+        loaded = load_snapshot(save_snapshot(single, tmp_path / "single.snapshot"))
+        assert_same_graph_view(single.freeze(), loaded)
+
+    def test_mmap_columns_are_zero_copy_views(self, tmp_path):
+        path = save_snapshot(figure1(), tmp_path / "fig1.snapshot")
+        loaded = load_snapshot(path, use_mmap=True)
+        assert isinstance(loaded._adj_edge, memoryview)
+        assert isinstance(loaded._offsets, memoryview)
+        assert loaded._mmap is not None
+        plain = load_snapshot(path, use_mmap=False)
+        assert plain._mmap is None
+
+    def test_snapshot_is_immutable(self, tmp_path):
+        from repro.errors import GraphError
+
+        loaded = load_snapshot(save_snapshot(figure1(), tmp_path / "g.snapshot"))
+        with pytest.raises(GraphError):
+            loaded.add_node("nope")
+        with pytest.raises(GraphError):
+            loaded.add_edge(0, 1, "nope")
+        assert loaded.freeze() is loaded
+
+    def test_save_accepts_frozen_and_mutable(self, tmp_path):
+        graph = figure1()
+        p1 = save_snapshot(graph, tmp_path / "a.snapshot")
+        p2 = save_snapshot(graph.freeze(), tmp_path / "b.snapshot")
+        assert_same_graph_view(load_snapshot(p1), load_snapshot(p2))
+
+    def test_resave_of_loaded_snapshot(self, tmp_path):
+        """An mmap-loaded snapshot can itself be saved again verbatim."""
+        original = save_snapshot(figure1(), tmp_path / "a.snapshot")
+        loaded = load_snapshot(original)
+        copy = save_snapshot(loaded, tmp_path / "b.snapshot")
+        assert_same_graph_view(loaded, load_snapshot(copy))
+
+
+# ----------------------------------------------------------------------
+# query equivalence (Hypothesis property across all 8 algorithms)
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    rng_seed=st.integers(min_value=0, max_value=2**16),
+    num_nodes=st.integers(min_value=3, max_value=9),
+    extra_edges=st.integers(min_value=0, max_value=6),
+)
+def test_loaded_snapshot_rows_identical_across_algorithms(
+    tmp_path_factory, rng_seed, num_nodes, extra_edges
+):
+    rng = random.Random(rng_seed)
+    graph = random_graph(rng, num_nodes, num_nodes - 1 + extra_edges)
+    seed_sets = random_seed_sets(rng, graph, 2)
+    path = tmp_path_factory.mktemp("snap") / f"g{rng_seed}.snapshot"
+    save_snapshot(graph, path)
+    loaded = load_snapshot(path)
+    assert_same_graph_view(graph.freeze(), loaded)
+    for algorithm in sorted(ALGORITHMS):
+        original = evaluate_ctp(graph.freeze(), seed_sets, algorithm, max_edges=3)
+        snapshot = evaluate_ctp(loaded, seed_sets, algorithm, max_edges=3)
+        assert result_rows(original) == result_rows(snapshot), algorithm
+
+
+def test_evaluate_query_rows_identical_on_snapshot(tmp_path):
+    query = """
+    SELECT ?x ?w WHERE {
+      CONNECT(?x, "France") AS ?w MAX 3
+      FILTER(type(?x) = "entrepreneur")
+    }
+    """
+    graph = figure1()
+    loaded = load_snapshot(save_snapshot(graph, tmp_path / "fig1.snapshot"))
+    original = evaluate_query(graph, query)
+    snapshot = evaluate_query(loaded, query)
+    assert original.columns == snapshot.columns
+    assert [row[:-1] for row in original.rows] == [row[:-1] for row in snapshot.rows]
+    assert [row[-1].edges for row in original.rows] == [row[-1].edges for row in snapshot.rows]
+
+
+# ----------------------------------------------------------------------
+# error paths
+# ----------------------------------------------------------------------
+class TestErrorPaths:
+    def fig1_bytes(self, tmp_path) -> bytes:
+        path = save_snapshot(figure1(), tmp_path / "fig1.snapshot")
+        return path.read_bytes()
+
+    def test_bad_magic(self, tmp_path):
+        bad = tmp_path / "bad.snapshot"
+        bad.write_bytes(b"NOTASNAP" + self.fig1_bytes(tmp_path)[8:])
+        with pytest.raises(SnapshotError, match="bad magic"):
+            load_snapshot(bad)
+
+    def test_arbitrary_file_is_rejected(self, tmp_path):
+        bad = tmp_path / "junk.snapshot"
+        bad.write_bytes(b"hello world, definitely not a snapshot")
+        with pytest.raises(SnapshotError, match="bad magic"):
+            load_snapshot(bad)
+
+    def test_empty_file(self, tmp_path):
+        bad = tmp_path / "empty.snapshot"
+        bad.write_bytes(b"")
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(bad)
+
+    def test_version_mismatch(self, tmp_path):
+        raw = bytearray(self.fig1_bytes(tmp_path))
+        raw[8:12] = struct.pack("<I", SNAPSHOT_VERSION + 1)
+        bad = tmp_path / "future.snapshot"
+        bad.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(bad)
+
+    @pytest.mark.parametrize("keep", [4, 12, 40, 200])
+    def test_truncated_file(self, tmp_path, keep):
+        raw = self.fig1_bytes(tmp_path)
+        assert keep < len(raw)
+        bad = tmp_path / f"trunc{keep}.snapshot"
+        bad.write_bytes(raw[:keep])
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(bad)
+
+    def test_truncated_by_one_byte(self, tmp_path):
+        raw = self.fig1_bytes(tmp_path)
+        bad = tmp_path / "short.snapshot"
+        bad.write_bytes(raw[:-1])
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(bad)
+
+    def test_corrupt_header_json(self, tmp_path):
+        raw = bytearray(self.fig1_bytes(tmp_path))
+        # Stomp the first header byte ('{' of the JSON) with garbage.
+        raw[20] = 0xFF
+        bad = tmp_path / "header.snapshot"
+        bad.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="corrupt"):
+            load_snapshot(bad)
+
+    def test_same_length_header_corruption_caught_by_crc(self, tmp_path):
+        """A corrupted digit inside a column offset keeps the JSON valid and
+        every length consistent — only the header checksum catches it."""
+        raw = bytearray(self.fig1_bytes(tmp_path))
+        header_len = struct.unpack_from("<I", raw, 12)[0]
+        header = bytearray(raw[20 : 20 + header_len])
+        digit_at = next(i for i, b in enumerate(header) if chr(b).isdigit())
+        header[digit_at] = ord("0") if header[digit_at] != ord("0") else ord("1")
+        raw[20 : 20 + header_len] = header
+        bad = tmp_path / "flipped.snapshot"
+        bad.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="checksum"):
+            load_snapshot(bad)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"use_mmap": False}, {"use_mmap": True, "verify_payload": True}]
+    )
+    def test_payload_bit_flip_caught_when_fully_read(self, tmp_path, kwargs):
+        raw = bytearray(self.fig1_bytes(tmp_path))
+        raw[-8] ^= 0xFF  # flip a byte inside the payload region
+        bad = tmp_path / "payload.snapshot"
+        bad.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="payload"):
+            load_snapshot(bad, **kwargs)
+
+    def test_magic_and_version_constants_are_stable(self):
+        # The on-disk contract: changing either is a format revision.
+        assert SNAPSHOT_MAGIC == b"REPROSNP"
+        assert SNAPSHOT_VERSION == 1
+
+
+# ----------------------------------------------------------------------
+# pickling (satellite regression) and ensure_snapshot
+# ----------------------------------------------------------------------
+class TestPickling:
+    def test_frozen_graph_is_picklable(self):
+        """Regression: memoryview adjacency columns made pickle.dumps raise
+        TypeError on any frozen graph."""
+        csr = figure1().freeze()
+        clone = pickle.loads(pickle.dumps(csr))
+        assert isinstance(clone, CSRGraph)
+        assert_same_graph_view(csr, clone)
+
+    def test_pickle_preserves_query_rows(self):
+        graph = figure1()
+        clone = pickle.loads(pickle.dumps(graph.freeze()))
+        for seeds in (figure1_seed_sets(graph),):
+            original = evaluate_ctp(graph.freeze(), seeds, "molesp", max_edges=3)
+            cloned = evaluate_ctp(clone, seeds, "molesp", max_edges=3)
+            assert result_rows(original) == result_rows(cloned)
+
+    def test_mmap_backed_graph_is_picklable(self, tmp_path):
+        loaded = load_snapshot(save_snapshot(rich_graph(), tmp_path / "rich.snapshot"))
+        clone = pickle.loads(pickle.dumps(loaded))
+        assert clone._mmap is None  # the mapping never crosses the boundary
+        assert_same_graph_view(loaded, clone)
+
+    def test_pickle_drops_view_caches(self):
+        csr = figure1().freeze()
+        csr.adjacent(0)
+        csr.adjacent_filtered(0, frozenset(["citizenOf"]))
+        clone = pickle.loads(pickle.dumps(csr))
+        assert clone._adj_cache == [None] * clone.num_nodes
+        assert clone._filtered_cache == {}
+        # ... and they rebuild on demand.
+        assert clone.adjacent(0) == csr.adjacent(0)
+
+
+class TestEnsureSnapshot:
+    def test_reuses_existing_snapshot_file(self, tmp_path):
+        path = save_snapshot(figure1(), tmp_path / "fig1.snapshot")
+        loaded = load_snapshot(path)
+        csr, reused = ensure_snapshot(loaded)
+        assert csr is loaded
+        assert reused == str(path)
+
+    def test_writes_and_memoizes_temp_snapshot(self):
+        import os
+
+        graph = figure1()
+        csr, path = ensure_snapshot(graph)
+        try:
+            assert os.path.exists(path)
+            assert csr is graph.freeze()
+            csr2, path2 = ensure_snapshot(graph)
+            assert csr2 is csr and path2 == path  # serialized at most once
+        finally:
+            os.unlink(path)
+
+    def test_save_memoizes_path_on_frozen_graph(self, tmp_path):
+        graph = figure1()
+        path = save_snapshot(graph, tmp_path / "fig1.snapshot")
+        assert graph.freeze().snapshot_path == str(path)
+        _, reused = ensure_snapshot(graph)
+        assert reused == str(path)
+
+    def test_overwritten_snapshot_file_is_not_reused(self, tmp_path):
+        """Regression: a memoized path whose file now holds a DIFFERENT
+        graph's snapshot must not be handed to worker processes."""
+        import os
+
+        big = figure1()
+        path = tmp_path / "shared.snapshot"
+        save_snapshot(big, path)
+        small = rich_graph()
+        save_snapshot(small, path)  # same file, different graph
+        csr, resolved = ensure_snapshot(big)
+        try:
+            assert resolved != str(path)  # fell back to a fresh temp snapshot
+            assert load_snapshot(resolved).num_nodes == big.num_nodes
+        finally:
+            os.unlink(resolved)
+
+    def test_deleted_snapshot_file_is_rewritten(self, tmp_path):
+        import os
+
+        graph = figure1()
+        path = save_snapshot(graph, tmp_path / "gone.snapshot")
+        os.unlink(path)
+        _, resolved = ensure_snapshot(graph)
+        try:
+            assert os.path.exists(resolved)
+        finally:
+            os.unlink(resolved)
+
+    def test_failed_save_does_not_leak_temp_files(self, tmp_path, monkeypatch):
+        """Regression: an unserializable graph used to leave one orphaned
+        mkstemp file per dispatch attempt."""
+        import tempfile
+
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        graph = Graph("unpicklable")
+        graph.add_node("a", hook=lambda: None)  # lambda prop defeats pickle
+        for _ in range(3):
+            with pytest.raises(Exception):
+                ensure_snapshot(graph)
+        assert list(tmp_path.iterdir()) == []
