@@ -7,7 +7,11 @@ The public API has three layers:
   ``evaluate_ctp``, the GAM/ESP/MoESP/LESP/MoLESP family and the BFT
   baselines;
 * :mod:`repro.query` — the Extended Query Language (Sections 2-3):
-  ``parse_query`` and ``evaluate_query`` combine BGPs and CTPs.
+  ``parse_query`` and ``evaluate_query`` combine BGPs and CTPs;
+* :mod:`repro.serve` — the long-lived serving front-end: ``QueryServer``
+  answers typed requests from persistent worker processes
+  (:class:`~repro.query.pool.WorkerPool`) with admission control and
+  per-request deadlines.
 
 Quickstart::
 
@@ -41,12 +45,23 @@ from repro.ctp import (
     evaluate_ctp,
     get_algorithm,
 )
-from repro.query import BatchResult, EQLQuery, QueryResult, evaluate_queries, evaluate_query, parse_query
+from repro.query import (
+    BatchResult,
+    EQLQuery,
+    QueryResult,
+    WorkerPool,
+    evaluate_queries,
+    evaluate_query,
+    parse_query,
+)
+from repro.serve import QueryRequest, QueryResponse, QueryServer
 from repro.errors import (
+    AdmissionError,
     ConfigError,
     EvaluationError,
     GraphError,
     ParseError,
+    PoolError,
     QueryError,
     ReproError,
     SearchError,
@@ -59,6 +74,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AdmissionError",
     "BatchResult",
     "CTPResultSet",
     "ConfigError",
@@ -70,8 +86,12 @@ __all__ = [
     "GraphError",
     "Node",
     "ParseError",
+    "PoolError",
     "QueryError",
+    "QueryRequest",
+    "QueryResponse",
     "QueryResult",
+    "QueryServer",
     "ReproError",
     "ResultTree",
     "SearchConfig",
@@ -81,6 +101,7 @@ __all__ = [
     "StorageError",
     "ValidationError",
     "WILDCARD",
+    "WorkerPool",
     "ensure_snapshot",
     "evaluate_ctp",
     "evaluate_queries",

@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     micro_parallel,
     micro_process_parallel,
     micro_query_context,
+    micro_serve,
     table1_yago,
 )
 from repro.bench.harness import ExperimentReport
@@ -37,6 +38,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "parallel": micro_parallel.run,
     "process-parallel": micro_process_parallel.run,
     "query-context": micro_query_context.run,
+    "serve": micro_serve.run,
 }
 
 

@@ -108,6 +108,79 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run queries through a long-lived :class:`~repro.serve.QueryServer`.
+
+    A CLI stand-in for a transport layer: starts one server (persistent
+    worker pool + shared context), prewarms it, then drives the given
+    queries from ``--clients`` concurrent client threads, ``--repeat``
+    rounds each — the serving shape (many queries, one graph) rather than
+    the one-shot ``query`` subcommand.  Prints one line per response and
+    the server's counters at the end.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serve import QueryRequest, QueryServer
+
+    graph = _resolve_graph(args)
+    try:
+        base_config = SearchConfig(
+            interning=not args.no_interning,
+            parallelism=max(args.workers, 1),
+            parallelism_mode="process",
+        )
+    except ValueError as error:
+        raise ReproError(str(error)) from None
+    requests = [
+        QueryRequest(
+            query=text,
+            deadline=args.deadline,
+            limit=args.rows,
+            tag=f"q{index}.r{round_}.c{client}",
+        )
+        for round_ in range(args.repeat)
+        for index, text in enumerate(args.queries)
+        for client in range(args.clients)
+    ]
+    failures = 0
+    with QueryServer(
+        graph,
+        algorithm=args.algorithm,
+        base_config=base_config,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        default_timeout=args.timeout,
+    ) as server:
+        print(f"prewarm: healthy={server.prewarm()} workers={server.pool.workers}")
+        with ThreadPoolExecutor(max_workers=args.clients, thread_name_prefix="repro-client") as clients:
+            responses = list(clients.map(server.handle, requests))
+        for request, response in zip(requests, responses):
+            if response.ok:
+                stats = response.stats
+                print(
+                    f"[{request.tag}] ok: {response.total_rows} row(s) in "
+                    f"{stats.seconds * 1000:.1f}ms | warm={stats.warm_pool} "
+                    f"memo={stats.memo_hits}/{stats.ctp_count} "
+                    f"modes={','.join(stats.dispatch_modes)}"
+                    + (" [deadline truncated]" if stats.deadline_truncated else "")
+                )
+            else:
+                failures += 1
+                print(f"[{request.tag}] {response.status}: {response.error}")
+        counters = server.stats()
+    pool = counters["pool"]
+    context = counters["context"]
+    print(
+        f"\nserved={counters['served']} rejected={counters['rejected']} "
+        f"expired={counters['expired']} errors={counters['errors']} | "
+        f"pool: dispatches={pool['dispatches']} respawns={pool['respawns']} "
+        f"resnapshots={pool['resnapshots']} | "
+        f"ctp_cache={context['ctp_cache_hits']}/"
+        f"{context['ctp_cache_hits'] + context['ctp_cache_misses']}"
+    )
+    return 1 if failures else 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     graph = figure1()
     print("Figure 1 demo graph loaded:", graph)
@@ -193,6 +266,50 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("--graph", help="TSV triples or JSON graph file (default: Figure 1)")
     snapshot.add_argument("--out", required=True, help="snapshot file to write")
     snapshot.set_defaults(handler=_cmd_snapshot)
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive EQL queries through a long-lived query server "
+        "(persistent worker pool, shared caches, admission control)",
+    )
+    serve.add_argument("queries", nargs="+", help="EQL text, one argument per query")
+    serve.add_argument("--graph", help="TSV triples or JSON graph file (default: Figure 1)")
+    serve.add_argument("--snapshot", help="binary CSR snapshot file (mutually exclusive with --graph)")
+    serve.add_argument("--algorithm", default="molesp", help="default CTP algorithm (default molesp)")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="worker processes in the persistent pool (default: one per core)",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=2,
+        help="concurrent client threads driving the server (default 2)",
+    )
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="rounds of the query list per client (default 2; round 2+ hits warm "
+        "workers and the cross-request memo)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=8,
+        help="in-flight request budget; excess requests are rejected, not queued",
+    )
+    serve.add_argument("--deadline", type=float, help="per-request wall-clock budget in seconds")
+    serve.add_argument("--timeout", type=float, default=30.0, help="default per-CTP timeout in seconds")
+    serve.add_argument(
+        "--no-interning",
+        action="store_true",
+        help="disable the hash-consed edge-set pool in server and workers",
+    )
+    serve.add_argument("--rows", type=int, help="per-response row limit (pagination)")
+    serve.set_defaults(handler=_cmd_serve)
 
     demo = sub.add_parser("demo", help="run the paper's Q1 on the Figure 1 graph")
     demo.set_defaults(handler=_cmd_demo)

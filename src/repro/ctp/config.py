@@ -59,6 +59,16 @@ class SearchConfig:
     timeout:
         Per-CTP evaluation budget in seconds (the paper's ``T``); ``None``
         means unbounded.
+    deadline:
+        Whole-*query* wall-clock budget in seconds, enforced by the
+        evaluator (standalone engine runs ignore it): each CTP's effective
+        ``timeout`` is capped to the budget remaining when its job is
+        built, so no single CTP can spend the whole query's allowance —
+        the per-query deadline discipline a serving front-end needs
+        ("Complexity of Evaluating GQL Queries" motivates how wildly
+        per-fragment cost varies).  Deadline-truncated result sets are
+        flagged ``timed_out`` and never memoized, exactly like ``timeout``
+        truncation.  ``None`` (default) means no query budget.
     limit:
         Stop after this many results have been found (the ``LIMIT`` used to
         align with QGSTP in Section 5.4.3).
@@ -133,6 +143,7 @@ class SearchConfig:
     labels: Optional[FrozenSet[str]] = None
     max_edges: Optional[int] = None
     timeout: Optional[float] = None
+    deadline: Optional[float] = None
     limit: Optional[int] = None
     score: Optional[ScoreFunction] = None
     top_k: Optional[int] = None
@@ -155,6 +166,8 @@ class SearchConfig:
             raise ConfigError("top_k must be positive")
         if self.limit is not None and self.limit <= 0:
             raise ConfigError("limit must be positive")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigError("deadline must be positive (seconds of query wall-clock budget)")
         if self.max_edges is not None and self.max_edges < 0:
             raise ConfigError("max_edges must be >= 0")
         if isinstance(self.order, str) and self.order not in ("size", "score"):

@@ -646,6 +646,24 @@ class ResultCache:
     def __contains__(self, key) -> bool:
         return key in self._data
 
+    def clear(self) -> None:
+        """Drop every entry (hit/miss/eviction counters are kept).
+
+        Used when the graph a context is bound to mutates: every cached
+        payload references pre-mutation state, so the whole cache is stale
+        at once and entry-by-entry invalidation would be wasted work.
+        """
+        lock = self._lock
+        if lock is None:
+            return self._clear()
+        with lock:
+            return self._clear()
+
+    def _clear(self) -> None:
+        self._data.clear()
+        self._nbytes.clear()
+        self.total_bytes = 0
+
 
 class SearchContext:
     """Query-scoped search state shared by the per-CTP evaluations.
@@ -693,7 +711,9 @@ class SearchContext:
         "ctp_cache",
         "runs",
         "rejects",
+        "generation_flushes",
         "_graph",
+        "_graph_generation",
         "_adopt_lock",
     )
 
@@ -717,7 +737,9 @@ class SearchContext:
         )
         self.runs = 0
         self.rejects = 0
+        self.generation_flushes = 0
         self._graph: Optional[object] = None  # strong ref: pins id() validity
+        self._graph_generation: Optional[int] = None
         self._adopt_lock = threading.Lock() if thread_safe else None
 
     # ------------------------------------------------------------------
@@ -743,9 +765,25 @@ class SearchContext:
             return None
         if self._graph is None:
             self._graph = graph
+            self._graph_generation = getattr(graph, "generation", 0)
         elif self._graph is not graph:
             self.rejects += 1
             return None
+        else:
+            generation = getattr(graph, "generation", 0)
+            if generation != self._graph_generation:
+                # The bound graph mutated since the last run: every cached
+                # result set references pre-mutation state.  The interned
+                # edge *sets* stay valid — edge ids are never reused, a set
+                # of ids means the same set after an append or a weight
+                # update — but the result caches must flush wholesale.
+                # (Cross-CTP memo keys also carry graph_fingerprint, so
+                # they would miss anyway; the rooted-result cache has no
+                # graph component in its key and relies on this flush.)
+                self.rooted_cache.clear()
+                self.ctp_cache.clear()
+                self.generation_flushes += 1
+                self._graph_generation = generation
         self.runs += 1
         return self.pool
 
@@ -780,14 +818,19 @@ class SearchContext:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def graph_fingerprint(graph) -> Tuple[int, int]:
-        """Size fingerprint of an (append-only) graph.
+    def graph_fingerprint(graph) -> Tuple[int, int, int]:
+        """Mutation fingerprint of a graph: counts + mutation generation.
 
-        Graphs only ever gain nodes/edges, so the count pair changes on
-        every mutation; folding it into cache keys invalidates entries
-        cached before a mutation (same graph object, different contents).
+        The count pair catches growth, but it misses *same-size* mutations
+        (update an edge weight; in a future delta overlay, delete one edge
+        and add another) — two different graphs with identical counts
+        would collide and serve stale cached results.  The monotonic
+        :attr:`~repro.graph.graph.Graph.generation` counter is bumped by
+        every mutator, so folding it in invalidates entries cached before
+        *any* mutation; the counts are kept for objects that predate the
+        counter (``getattr`` default 0).
         """
-        return (graph.num_nodes, graph.num_edges)
+        return (graph.num_nodes, graph.num_edges, getattr(graph, "generation", 0))
 
     # ------------------------------------------------------------------
     def stats_dict(self) -> Dict[str, int]:
@@ -796,6 +839,7 @@ class SearchContext:
         return {
             "runs": self.runs,
             "rejects": self.rejects,
+            "generation_flushes": self.generation_flushes,
             "pool_sets": len(pool),
             "pool_union_hits": pool.union_hits,
             "pool_union_misses": pool.union_misses,

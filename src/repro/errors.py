@@ -74,6 +74,24 @@ class ConfigError(SearchError, ValueError):
     """
 
 
+class PoolError(ReproError):
+    """Raised for invalid worker-pool operations (:mod:`repro.query.pool`).
+
+    Examples: submitting to a closed :class:`~repro.query.pool.WorkerPool`,
+    or constructing one with a non-positive worker count.
+    """
+
+
+class AdmissionError(PoolError):
+    """Raised when a query server refuses a request up front.
+
+    Admission control (:mod:`repro.serve`): the bounded queue is full or
+    the request's deadline already expired before evaluation could start.
+    Servers normally convert this into a typed rejection response; it is
+    only *raised* by the lower-level hooks.
+    """
+
+
 class BudgetExceeded(ReproError):
     """Internal signal used to unwind a search when a deadline fires.
 

@@ -156,6 +156,10 @@ class CSRGraph:
 
     def __init__(self, source: Graph):
         self.name = source.name
+        # The source's mutation generation at freeze time: Graph.freeze()
+        # keys its memo on this, so any later mutation (including same-size
+        # ones like set_edge_weight) rebuilds instead of serving this view.
+        self.source_generation: Optional[int] = getattr(source, "generation", 0)
         num_nodes = source.num_nodes
         num_edges = source.num_edges
         self._num_nodes = num_nodes
@@ -277,6 +281,9 @@ class CSRGraph:
         self._edges_by_label = edges_by_label
         self._mmap = mmap_obj
         self.snapshot_path = snapshot_path
+        # A loaded/unpickled snapshot has no live source graph: it must
+        # never satisfy a Graph.freeze() memo check.
+        self.source_generation = None
         self._reset_caches()
 
     # ------------------------------------------------------------------
@@ -348,6 +355,16 @@ class CSRGraph:
     def freeze(self, force: bool = False) -> "CSRGraph":
         """Already frozen — freezing is idempotent."""
         return self
+
+    @property
+    def generation(self) -> int:
+        """Mutation generation of this (immutable) view — constant.
+
+        Reports the source graph's generation at freeze time so a frozen
+        view and its source carry the same cache-key component; loaded or
+        unpickled snapshots (no live source) report 0.
+        """
+        return self.source_generation or 0
 
     # ------------------------------------------------------------------
     # access

@@ -116,12 +116,14 @@ class Graph:
         self._nodes_by_type: Dict[str, List[int]] = {}
         self._edges_by_label: Dict[str, List[int]] = {}
         self._frozen_snapshot = None  # memoized CSR view (see freeze())
+        self._generation = 0  # monotonic mutation counter (see generation)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_node(self, label: str = "", types: Iterable[str] = (), **props: Any) -> int:
         """Add a node and return its id (ids are dense, starting at 0)."""
+        self._generation += 1
         node_id = len(self._nodes)
         node = Node(node_id, label, types, props or None)
         self._nodes.append(node)
@@ -135,6 +137,7 @@ class Graph:
         """Add a directed edge ``source -> target`` and return its id."""
         self._check_node(source)
         self._check_node(target)
+        self._generation += 1
         edge_id = len(self._edges)
         edge = Edge(edge_id, source, target, label, weight, props or None)
         self._edges.append(edge)
@@ -148,9 +151,37 @@ class Graph:
         if not 0 <= node_id < len(self._nodes):
             raise GraphError(f"unknown node id {node_id}")
 
+    def set_edge_weight(self, edge_id: int, weight: float) -> None:
+        """Change the weight of an existing edge.
+
+        The one *same-size* mutation the model supports: the graph keeps
+        its node/edge counts but its search results may change, so the
+        mutation generation is bumped — a memoized :meth:`freeze` snapshot
+        and every generation-keyed cache entry are invalidated.  (Writing
+        ``edge.weight`` directly bypasses that bookkeeping and will serve
+        stale frozen/cached state; always mutate through this method.)
+        """
+        if not 0 <= edge_id < len(self._edges):
+            raise GraphError(f"unknown edge id {edge_id}")
+        self._generation += 1
+        self._edges[edge_id].weight = weight
+
     # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter: bumped by *every* mutator.
+
+        Node/edge counts cannot distinguish same-size mutations (e.g. a
+        weight update), so caches and snapshots key on this counter
+        instead — any entry recorded under an older generation is stale by
+        definition.  The counter only ever grows and is process-local (it
+        does not survive pickling or binary snapshots, which create new
+        graph objects anyway).
+        """
+        return self._generation
+
     @property
     def num_nodes(self) -> int:
         return len(self._nodes)
@@ -281,16 +312,16 @@ class Graph:
         """A CSR (compressed sparse row) snapshot of this graph.
 
         The snapshot is memoized: repeated calls return the same
-        :class:`~repro.graph.backend.CSRGraph` until nodes or edges are
-        *added*, after which the next call builds a fresh one.  The frozen
-        view is read-only; keep mutating *this* graph and re-freeze.
+        :class:`~repro.graph.backend.CSRGraph` until the graph *mutates*
+        (the memo is keyed on :attr:`generation`, so both appends and
+        same-size mutations like :meth:`set_edge_weight` rebuild it).  The
+        frozen view is read-only; keep mutating *this* graph and
+        re-freeze.
 
-        Edge weights and labels are copied into flat columns at freeze
-        time, and the memo only tracks node/edge counts (the class is
-        append-only by design) — so mutating a ``weight``/``label``
-        *in place* on an existing :class:`Edge` is not reflected by a
-        memoized snapshot.  Pass ``force=True`` to rebuild after such a
-        mutation.
+        Mutating a ``weight``/``label`` *in place* on an existing
+        :class:`Edge` object bypasses the generation counter and is not
+        reflected by a memoized snapshot; use :meth:`set_edge_weight` (or
+        pass ``force=True``) after such a mutation.
         """
         from repro.graph.backend import CSRGraph
 
@@ -298,8 +329,7 @@ class Graph:
         if (
             not force
             and snapshot is not None
-            and snapshot.num_nodes == len(self._nodes)
-            and snapshot.num_edges == len(self._edges)
+            and snapshot.source_generation == self._generation
         ):
             return snapshot
         snapshot = CSRGraph(self)

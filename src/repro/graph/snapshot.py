@@ -43,7 +43,10 @@ Entry points:
     materializes plain ``array`` columns instead).
 :func:`ensure_snapshot`
     The dispatcher's helper: return an existing snapshot file for a graph
-    or write one to a temp file (cleaned up at interpreter exit).
+    or write one to a pid-tagged temp file (released eagerly via
+    :func:`release_auto_snapshot` when the owning pool closes, at
+    interpreter exit otherwise; orphans of dead processes are reaped on
+    later ``ensure_snapshot`` calls).
 """
 
 from __future__ import annotations
@@ -53,13 +56,14 @@ import json
 import mmap
 import os
 import pickle
+import re
 import struct
 import sys
 import tempfile
 import zlib
 from array import array
 from pathlib import Path
-from typing import Any, Dict, List, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import GraphError, SnapshotError
 from repro.graph.backend import CSRGraph
@@ -323,9 +327,14 @@ def load_snapshot(path: PathLike, use_mmap: bool = True, verify_payload: bool = 
 
 
 # ----------------------------------------------------------------------
-# dispatcher helper: snapshot-on-demand with exit-time cleanup
+# dispatcher helper: snapshot-on-demand with eager + exit-time cleanup
 # ----------------------------------------------------------------------
 _AUTO_SNAPSHOTS: set = set()
+
+#: Auto-snapshot files are named ``repro-csr-<pid>-<random>.snapshot`` so a
+#: *different* process can tell whether the owner is still alive and reap
+#: the strays a killed owner left behind (atexit never ran there).
+_AUTO_PREFIX_RE = re.compile(r"^repro-csr-(\d+)-.*\.snapshot$")
 
 
 def _cleanup_auto_snapshots() -> None:  # pragma: no cover - exit hook
@@ -338,6 +347,71 @@ def _cleanup_auto_snapshots() -> None:  # pragma: no cover - exit hook
 
 
 atexit.register(_cleanup_auto_snapshots)
+
+
+def release_auto_snapshot(path: Optional[str]) -> bool:
+    """Eagerly delete an auto-snapshot file this process owns.
+
+    The ``atexit`` hook only fires on a clean interpreter exit — a pool
+    that closes mid-run must unlink its snapshot *now*, or a long-lived
+    server leaks one temp file per pool generation.  Only paths created by
+    :func:`ensure_snapshot` are touched (an explicitly saved snapshot is
+    the user's file); unlinking is safe while workers still map the file —
+    POSIX keeps the mapping alive until the last handle drops.  Returns
+    whether a file was released.
+    """
+    if path is None or path not in _AUTO_SNAPSHOTS:
+        return False
+    _AUTO_SNAPSHOTS.discard(path)
+    try:
+        os.unlink(path)
+    except OSError:
+        return False
+    return True
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists (owned by someone else) — not ours to judge
+    return True
+
+
+def _reap_stale_snapshots(directory: Optional[PathLike] = None) -> int:
+    """Delete auto-snapshot files whose owning process is gone.
+
+    A worker killed with SIGKILL, or a parent that crashed before its
+    ``atexit`` hook, strands its ``repro-csr-<pid>-*.snapshot`` files in
+    tmp forever.  Every :func:`ensure_snapshot` call sweeps the temp
+    directory for such orphans: a file whose embedded pid no longer names
+    a live process is unlinked (our own pid is skipped — its files are
+    live by definition).  Returns the number of files reaped; all I/O
+    errors are swallowed (reaping is best-effort hygiene, never a reason
+    to fail a dispatch).
+    """
+    directory = Path(directory) if directory is not None else Path(tempfile.gettempdir())
+    reaped = 0
+    try:
+        entries = list(os.scandir(directory))
+    except OSError:
+        return 0
+    own_pid = os.getpid()
+    for entry in entries:
+        match = _AUTO_PREFIX_RE.match(entry.name)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if pid == own_pid or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(entry.path)
+            reaped += 1
+        except OSError:
+            pass
+    return reaped
 
 
 def _snapshot_matches(csr: CSRGraph, path: str) -> bool:
@@ -362,15 +436,19 @@ def ensure_snapshot(graph: Any) -> Tuple[CSRGraph, str]:
     A graph that already has a snapshot file (loaded from one, or saved
     earlier) reuses it after an O(header) validation
     (:func:`_snapshot_matches`); otherwise the frozen graph is serialized
-    once to a temporary file that is deleted at interpreter exit.  The
-    path is memoized on the snapshot object, so repeated process-pool
-    dispatches over one graph serialize at most once.
+    once to a pid-tagged temporary file — released eagerly by the owning
+    pool (:func:`release_auto_snapshot`), at interpreter exit otherwise,
+    and reaped by *any* later process when the owner died without cleaning
+    up (:func:`_reap_stale_snapshots`).  The path is memoized on the
+    snapshot object, so repeated process-pool dispatches over one graph
+    serialize at most once.
     """
     csr = _freeze(graph)
     existing = csr.snapshot_path
     if existing is not None and _snapshot_matches(csr, existing):
         return csr, existing
-    fd, tmp_path = tempfile.mkstemp(prefix="repro-csr-", suffix=".snapshot")
+    _reap_stale_snapshots()  # hygiene: collect orphans of dead processes
+    fd, tmp_path = tempfile.mkstemp(prefix=f"repro-csr-{os.getpid()}-", suffix=".snapshot")
     os.close(fd)
     try:
         save_snapshot(csr, tmp_path)

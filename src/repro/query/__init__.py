@@ -32,11 +32,13 @@ from repro.query.parser import parse_query
 from repro.query.bgp import evaluate_bgp
 from repro.query.evaluator import QueryResult, evaluate_query
 from repro.query.parallel import BatchResult, evaluate_queries
+from repro.query.pool import WorkerPool
 from repro.query.scoring import SCORE_FUNCTIONS, get_score_function, register_score_function
 
 __all__ = [
     "BGP",
     "BatchResult",
+    "WorkerPool",
     "CTP",
     "CTPFilters",
     "Condition",

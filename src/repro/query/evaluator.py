@@ -43,7 +43,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from itertools import permutations, product
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.ctp.config import WILDCARD, SearchConfig
 from repro.ctp.interning import SearchContext
@@ -53,6 +53,9 @@ from repro.graph.graph import Graph
 from repro.query.ast import CTP, CTPFilters, EQLQuery, Predicate
 from repro.query.bgp import evaluate_bgp
 from repro.query.parallel import CTPJob, run_ctp_jobs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (pool imports from parallel)
+    from repro.query.pool import WorkerPool
 from repro.query.parser import parse_query
 from repro.query.scoring import get_score_function
 from repro.storage.relational import natural_join_many
@@ -366,6 +369,32 @@ def _ctp_memo_key(graph: Graph, algorithm: str, seed_sets: Sequence, config: Sea
     )
 
 
+#: Smallest per-CTP budget a deadline can leave (seconds).  A CTP built
+#: after the query's deadline already passed still *runs* with this sliver
+#: so it returns an honestly-flagged ``timed_out`` partial set through the
+#: normal engine path instead of needing a synthetic empty result.
+_DEADLINE_FLOOR = 1e-6
+
+
+def _cap_to_deadline(config: SearchConfig, query_started: float) -> SearchConfig:
+    """Cap a CTP's ``timeout`` to the query deadline budget remaining *now*.
+
+    The deadline (``SearchConfig.deadline``) is a whole-query wall-clock
+    budget: each CTP may spend at most what is left when its job is built,
+    so one expensive CONNECT cannot consume a later CONNECT's allowance.
+    No-op without a deadline, or when the CTP's own timeout is already
+    tighter.  The capped timeout participates in the memo fingerprint like
+    any other timeout — deadline-truncated sets are wall-clock-dependent
+    and must never be replayed (same rule as plain ``TIMEOUT``).
+    """
+    if config.deadline is None:
+        return config
+    remaining = max(config.deadline - (time.perf_counter() - query_started), _DEADLINE_FLOOR)
+    if config.timeout is None or remaining < config.timeout:
+        return config.with_(timeout=remaining)
+    return config
+
+
 def evaluate_query(
     graph: Graph,
     query: Union[str, EQLQuery],
@@ -374,6 +403,7 @@ def evaluate_query(
     default_timeout: Optional[float] = None,
     distinct: bool = True,
     context: Optional[SearchContext] = None,
+    pool: Optional["WorkerPool"] = None,
 ) -> QueryResult:
     """Evaluate an EQL query (Definition 2.10 semantics).
 
@@ -397,7 +427,22 @@ def evaluate_query(
         when it is false (the pool-per-CTP A/B baseline).  An explicit
         non-thread-safe context downgrades a ``parallelism > 1`` request to
         serial dispatch rather than share unlocked state.
+    pool:
+        A persistent :class:`~repro.query.pool.WorkerPool` to route
+        ``parallelism_mode="process"`` dispatches through.  The pool's
+        long-lived workers keep their mmap-loaded snapshot and warm
+        per-worker contexts across *queries*, so only the first query ever
+        pays spin-up (the per-call executor the default path builds is
+        exactly the amortization bug this parameter fixes).  The pool must
+        be bound to ``graph``; a mismatched, closed, or broken pool falls
+        back to the historical per-call dispatch chain.  Ignored under
+        thread mode or ``parallelism == 1``.
+
+    When ``base_config.deadline`` is set, each CTP's effective timeout is
+    capped to the whole-query budget remaining when its job is built
+    (:func:`_cap_to_deadline`).
     """
+    query_started = time.perf_counter()
     if isinstance(query, str):
         query = parse_query(query)
     base_config = base_config or SearchConfig()
@@ -435,14 +480,20 @@ def evaluate_query(
             graph, ctp, binding_values, seed_cache
         )
         seed_cache_hits += hits
-        config = config_for_ctp(ctp.filters, base_config, default_timeout)
+        config = _cap_to_deadline(config_for_ctp(ctp.filters, base_config, default_timeout), query_started)
         memo_key = (
             _ctp_memo_key(graph, algorithm, seed_sets, config) if context is not None else None
         )
         jobs.append(CTPJob(index=index, seed_sets=seed_sets, config=config, memo_key=memo_key))
         derived.append((sizes, wildcard_positions))
     outcomes = run_ctp_jobs(
-        graph, algorithm, jobs, context, base_config.parallelism, base_config.parallelism_mode
+        graph,
+        algorithm,
+        jobs,
+        context,
+        base_config.parallelism,
+        base_config.parallelism_mode,
+        pool=pool,
     )
     ctp_tables: List[Table] = []
     reports: List[CTPReport] = []

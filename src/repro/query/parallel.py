@@ -81,6 +81,7 @@ from repro.graph.snapshot import ensure_snapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (evaluator imports us)
     from repro.query.evaluator import QueryResult
+    from repro.query.pool import WorkerPool
 
 
 @dataclass
@@ -153,8 +154,28 @@ def run_ctp_jobs(
     context: Optional[SearchContext],
     parallelism: int = 1,
     mode: str = "thread",
+    pool: Optional["WorkerPool"] = None,
 ) -> List[CTPOutcome]:
-    """Evaluate ``jobs`` and return one :class:`CTPOutcome` per job, in order."""
+    """Evaluate ``jobs`` and return one :class:`CTPOutcome` per job, in order.
+
+    ``pool`` (a :class:`~repro.query.pool.WorkerPool`) makes ``"process"``
+    dispatch *persistent*: jobs are submitted to the pool's long-lived
+    workers instead of an executor built and torn down per call.  An
+    injected pool is used for every process-mode dispatch — even a single
+    job, even ``parallelism == 1`` (a warm worker beats any spin-up, and
+    on a single-core host the serving layer's whole win *is* the
+    eliminated spin-up); without a pool the historical collapse-to-serial
+    rules apply unchanged.  A closed pool, or one bound to a different
+    graph, is ignored rather than trusted.
+    """
+    if (
+        pool is not None
+        and mode == "process"
+        and jobs
+        and not pool.closed
+        and pool.matches(graph)
+    ):
+        return _run_process_pooled(graph, algorithm, jobs, context, pool, parallelism)
     workers = effective_parallelism(parallelism, len(jobs), context, mode)
     if workers <= 1:
         return _run_serial(graph, algorithm, jobs, context)
@@ -461,6 +482,57 @@ def _run_process(
     return _stamp_mode(outcomes, "process")
 
 
+def _run_process_pooled(
+    graph: Graph,
+    algorithm: str,
+    jobs: Sequence[CTPJob],
+    context: Optional[SearchContext],
+    pool: "WorkerPool",
+    parallelism: int,
+) -> List[CTPOutcome]:
+    """Fan the jobs out to a *persistent* :class:`~repro.query.pool.WorkerPool`.
+
+    Same three-phase protocol as :func:`_run_process` (parent-side memo
+    serve, in-flight dedup, CTP-order memo replay) — the difference is
+    purely *who owns the executor*: the pool keeps its workers (and their
+    mmap-loaded graphs and warm per-worker contexts) alive across calls,
+    so this dispatch pays zero spin-up once the pool is warm.
+
+    Failure policy: a ``BrokenProcessPool`` mid-fan-out triggers exactly
+    one :meth:`~repro.query.pool.WorkerPool.respawn` + retry — a crashed
+    worker costs one executor rebuild, not silent thread-fallback for the
+    rest of the pool's life.  Only a *second* consecutive break (or an
+    unpicklable/unsnapshotable job, which no respawn can fix) re-enters
+    :func:`run_ctp_jobs` without the pool, taking the historical per-call
+    dispatch chain (process -> thread -> serial) with all its own
+    degradation rules.
+    """
+
+    def without_pool() -> List[CTPOutcome]:
+        return run_ctp_jobs(graph, algorithm, jobs, context, parallelism, "process")
+
+    try:
+        pool.prepare()
+    except (ReproError, OSError, pickle.PicklingError, TypeError, AttributeError):
+        return without_pool()
+    if not _jobs_picklable(algorithm, jobs):
+        return without_pool()
+
+    def submit_one(p: "WorkerPool", job: CTPJob) -> Any:
+        return p.submit(algorithm, job.seed_sets, job.config)
+
+    try:
+        outcomes, followers = _fan_out(jobs, context, pool, submit_one)
+    except BrokenProcessPool:
+        try:
+            pool.respawn()
+            outcomes, followers = _fan_out(jobs, context, pool, submit_one)
+        except (BrokenProcessPool, ReproError, OSError):
+            return without_pool()
+    _replay_memo(jobs, outcomes, followers, context)
+    return _stamp_mode(outcomes, "process")
+
+
 # ----------------------------------------------------------------------
 # batch front-end
 # ----------------------------------------------------------------------
@@ -511,6 +583,7 @@ def evaluate_queries(
     default_timeout: Optional[float] = None,
     distinct: bool = True,
     context: Optional[SearchContext] = None,
+    pool: Optional["WorkerPool"] = None,
 ) -> BatchResult:
     """Evaluate many EQL queries against **one** shared search context.
 
@@ -530,6 +603,12 @@ def evaluate_queries(
     one is created per call (thread-safe when ``parallelism > 1``) —
     unless ``base_config.shared_context`` is false, which keeps the
     pool-per-CTP A/B baseline and returns ``BatchResult.context = None``.
+
+    ``pool`` is the process-side analogue: a persistent
+    :class:`~repro.query.pool.WorkerPool` routes every query's
+    ``"process"``-mode dispatch through the same long-lived workers, so
+    the batch pays executor spin-up and per-worker snapshot loads once —
+    not once per query (the PR-5 behaviour this parameter fixes).
     """
     from repro.query.evaluator import evaluate_query  # local: evaluator imports us
 
@@ -548,6 +627,7 @@ def evaluate_queries(
             default_timeout=default_timeout,
             distinct=distinct,
             context=context,
+            pool=pool,
         )
         for query in queries
     ]

@@ -1,0 +1,315 @@
+"""A persistent process pool for CTP evaluation: warm workers, many queries.
+
+The PR-5 process dispatcher (:func:`repro.query.parallel._run_process`)
+proved the mechanism — workers initialized once with an mmap-shared CSR
+snapshot, each holding a private long-lived
+:class:`~repro.ctp.interning.SearchContext` — but tore the whole
+``ProcessPoolExecutor`` down after every ``evaluate_query`` call.  Each
+request therefore paid fork/forkserver spin-up plus a per-worker snapshot
+load, then threw the warm per-worker context away: the multi-core win
+never amortized, which is fatal for the serving regime the paper's
+integrated evaluator implies (many queries, one graph).
+
+:class:`WorkerPool` fixes the amortization: it owns **one** executor for
+the lifetime of the pool.
+
+* **Load once, serve forever** — workers run
+  :func:`~repro.query.parallel._process_worker_init` exactly once, when
+  they spawn; every job any worker ever runs reuses its mmap-backed graph
+  and its private context (rooted-result and cross-CTP caches stay warm
+  *across requests*, not just across the CTPs of one query).
+* **Health & respawn** — :meth:`ping` round-trips a probe through a
+  worker; a :class:`~concurrent.futures.process.BrokenProcessPool`
+  triggers :meth:`respawn` (tear down, rebuild, counted in
+  :attr:`respawns`) so a crashed worker costs one retry, not permanent
+  thread-fallback degradation.
+* **Snapshot generations** — the pool records the source graph's
+  :attr:`~repro.graph.graph.Graph.generation` when it snapshots; a
+  mutated graph re-snapshots and respawns on the next dispatch instead of
+  serving stale topology from the old file.
+* **Explicit lifecycle** — :meth:`close` (or the context-manager form)
+  shuts the executor down and eagerly releases the pool's auto-snapshot
+  temp file (:func:`repro.graph.snapshot.release_auto_snapshot`) instead
+  of leaking it until interpreter exit.
+
+Inject a pool into :func:`~repro.query.evaluator.evaluate_query` /
+:func:`~repro.query.parallel.evaluate_queries` (``pool=...``) to route
+their process-mode dispatches through it, or let :class:`repro.serve`'s
+``QueryServer`` own one for you.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Dict, List, Optional
+
+from repro.ctp.config import SearchConfig
+from repro.errors import PoolError
+from repro.graph.snapshot import ensure_snapshot, release_auto_snapshot
+
+
+def _worker_probe() -> Dict[str, Any]:
+    """Health probe, executed *inside* a worker: report what it holds.
+
+    A worker that answers proves the round trip (parent -> queue -> worker
+    -> queue -> parent) and reports whether its initializer really left it
+    warm: a loaded graph and a live context with its cumulative run count.
+    """
+    from repro.query import parallel
+
+    graph = parallel._worker_graph
+    context = parallel._worker_context
+    return {
+        "pid": os.getpid(),
+        "graph_loaded": graph is not None,
+        "snapshot_path": getattr(graph, "snapshot_path", None),
+        "context_runs": context.runs if context is not None else -1,
+    }
+
+
+class WorkerPool:
+    """A reusable, health-checked process pool bound to one graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph every job runs against.  The pool freezes and snapshots
+        it on first use (reusing an existing snapshot file when the graph
+        has one) and re-snapshots automatically when the graph's mutation
+        generation changes.
+    workers:
+        Worker process count (default: ``os.cpu_count()``).
+    interning:
+        Interning mode the worker-private contexts are created with; a
+        dispatch whose config disagrees still runs correctly (the worker
+        context refuses adoption and the engine uses a private pool), it
+        just loses worker-side cache reuse.
+
+    The pool is thread-safe: any number of request-handler threads may
+    :meth:`submit` concurrently (``ProcessPoolExecutor`` serializes the
+    actual task queue).  It is also lazy — no processes exist until the
+    first submit/ping — so constructing one is cheap.
+    """
+
+    def __init__(
+        self,
+        graph: Any,
+        workers: Optional[int] = None,
+        interning: bool = True,
+    ):
+        if workers is not None and workers < 1:
+            raise PoolError(f"WorkerPool needs workers >= 1, got {workers}")
+        self.graph = graph
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.interning = interning
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._csr: Any = None
+        self._snapshot_path: Optional[str] = None
+        self._snapshot_generation: Optional[int] = None
+        self._lock = threading.Lock()
+        self._closed = False
+        #: Number of executor rebuilds after a BrokenProcessPool.
+        self.respawns = 0
+        #: Number of snapshot regenerations forced by a graph mutation.
+        self.resnapshots = 0
+        #: Jobs submitted over the pool's lifetime (all executor epochs).
+        self.dispatches = 0
+        #: Health probes served (a successful ping proves spawned workers).
+        self.pings = 0
+        # Work served by the CURRENT executor epoch — warmth is per epoch
+        # (a respawned-but-idle executor is cold again), while the public
+        # counters above are lifetime totals.
+        self._epoch_work = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def warm(self) -> bool:
+        """Whether a live executor exists *and* has served at least one job.
+
+        "Warm" is the amortization claim: the next submit reuses spawned,
+        snapshot-loaded workers instead of paying spin-up.  A freshly
+        constructed (or respawned-but-idle) pool is not warm yet; a
+        successful :meth:`ping` (e.g. via a server's ``prewarm``) counts —
+        the probe round trip proves spawned, snapshot-loaded workers just
+        as a real job does.
+        """
+        return self._executor is not None and self._epoch_work > 0
+
+    @property
+    def snapshot_path(self) -> Optional[str]:
+        return self._snapshot_path
+
+    @property
+    def snapshot_generation(self) -> Optional[int]:
+        return self._snapshot_generation
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the executor down and release pool-owned temp state.
+
+        Idempotent.  The auto-snapshot file (if the pool created one) is
+        unlinked *now* rather than at interpreter exit — a long-lived
+        server cycles pools (respawns, graph generations) and would
+        otherwise stack up one stranded temp file per cycle.  Explicitly
+        saved snapshot files are never touched.
+        """
+        with self._lock:
+            self._closed = True
+            self._shutdown_locked()
+            release_auto_snapshot(self._snapshot_path)
+            self._snapshot_path = None
+            self._csr = None
+
+    def _shutdown_locked(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # executor management
+    # ------------------------------------------------------------------
+    def _ensure_locked(self) -> ProcessPoolExecutor:
+        """The live executor, (re)built as needed.  Caller holds the lock.
+
+        Rebuild triggers: no executor yet (first use, or after a respawn
+        tore it down), or the source graph's mutation generation moved
+        past the snapshot's — the old file is stale *topology*, so it is
+        released and the workers respawn over a fresh snapshot.
+        """
+        from repro.query.parallel import _process_pool_context, _process_worker_init
+
+        if self._closed:
+            raise PoolError("WorkerPool is closed")
+        generation = getattr(self.graph, "generation", 0)
+        if self._executor is not None and generation == self._snapshot_generation:
+            return self._executor
+        self._shutdown_locked()
+        if self._snapshot_generation is not None and generation != self._snapshot_generation:
+            release_auto_snapshot(self._snapshot_path)
+            self._snapshot_path = None
+            self.resnapshots += 1
+        # ensure_snapshot may raise (unpicklable metadata, I/O): the caller
+        # decides how to degrade; the pool stays constructible/closable.
+        self._csr, self._snapshot_path = ensure_snapshot(self.graph)
+        self._snapshot_generation = generation
+        self._epoch_work = 0
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=_process_pool_context(),
+            initializer=_process_worker_init,
+            initargs=(self._snapshot_path, self.interning),
+        )
+        return self._executor
+
+    def prepare(self) -> Any:
+        """Freeze/snapshot the graph and make the executor live (no spawn
+        is forced — workers start on first submit).  Returns the frozen
+        CSR graph the workers will map."""
+        with self._lock:
+            self._ensure_locked()
+            return self._csr
+
+    def respawn(self) -> None:
+        """Tear the executor down and rebuild it (crashed-worker recovery).
+
+        Called by the dispatch layer when a fan-out dies with
+        ``BrokenProcessPool``; the replacement executor re-runs the worker
+        initializer, so the workers come back warm-loadable (same snapshot
+        file) at the cost of one spin-up — instead of every later dispatch
+        silently degrading to the thread pool forever.
+        """
+        with self._lock:
+            if self._closed:
+                raise PoolError("WorkerPool is closed")
+            self._shutdown_locked()
+            self.respawns += 1
+            self._ensure_locked()
+
+    # ------------------------------------------------------------------
+    # work
+    # ------------------------------------------------------------------
+    def submit(self, algorithm: str, seed_sets: List[Any], config: SearchConfig) -> Future:
+        """Submit one CTP evaluation; returns a future of ``(result_set, seconds)``.
+
+        May raise ``BrokenProcessPool`` (executor already broken) or
+        :class:`~repro.errors.PoolError` (closed); snapshot failures
+        propagate from :func:`ensure_snapshot`.  The dispatch layer wraps
+        this with retry-after-respawn.
+        """
+        from repro.query.parallel import _process_worker_run
+
+        with self._lock:
+            executor = self._ensure_locked()
+            self.dispatches += 1
+            self._epoch_work += 1
+        return executor.submit(_process_worker_run, algorithm, seed_sets, config)
+
+    def ping(self, timeout: float = 30.0) -> Dict[str, Any]:
+        """Round-trip a health probe through a worker.
+
+        Proves the pool can spawn workers, run their initializer, and
+        return results; the probe reports the worker's pid, whether its
+        snapshot graph is loaded, and its context's cumulative run count.
+        Raises whatever the probe run raises (``BrokenProcessPool``,
+        ``TimeoutError``) — callers treat any exception as unhealthy.
+        """
+        with self._lock:
+            executor = self._ensure_locked()
+        probe = executor.submit(_worker_probe).result(timeout=timeout)
+        with self._lock:
+            self.pings += 1
+            self._epoch_work += 1
+        return probe
+
+    def healthy(self, timeout: float = 30.0) -> bool:
+        """Best-effort boolean form of :meth:`ping`."""
+        if self._closed:
+            return False
+        try:
+            probe = self.ping(timeout=timeout)
+        except Exception:  # noqa: BLE001 - any failure means unhealthy
+            return False
+        return bool(probe.get("graph_loaded"))
+
+    def matches(self, graph: Any) -> bool:
+        """Whether ``graph`` is the graph this pool serves.
+
+        True for the bound graph itself, its memoized frozen view, or the
+        CSR the pool snapshotted — the aliases a dispatch may hold after
+        backend resolution.  Anything else must not run here (workers
+        would silently search the wrong topology).
+        """
+        if graph is self.graph or (self._csr is not None and graph is self._csr):
+            return True
+        return graph is getattr(self.graph, "_frozen_snapshot", None)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Lifecycle counters for server stats / bench reports."""
+        return {
+            "workers": self.workers,
+            "warm": self.warm,
+            "closed": self._closed,
+            "dispatches": self.dispatches,
+            "pings": self.pings,
+            "respawns": self.respawns,
+            "resnapshots": self.resnapshots,
+            "snapshot_generation": self._snapshot_generation,
+        }
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("warm" if self.warm else "cold")
+        return f"WorkerPool(workers={self.workers}, {state}, dispatches={self.dispatches})"

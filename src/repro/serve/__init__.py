@@ -1,0 +1,35 @@
+"""Long-lived query serving on top of the persistent worker pool.
+
+``repro.serve`` is the multi-user front-end of the evaluator: a
+:class:`~repro.serve.server.QueryServer` binds one graph to one
+:class:`~repro.query.pool.WorkerPool` and one shared
+:class:`~repro.ctp.interning.SearchContext`, then answers
+:class:`~repro.serve.models.QueryRequest` envelopes from any number of
+client threads — with admission control, per-request deadlines, and
+per-response provenance (warm pool? memo hits? what dispatch ran?).
+
+``python -m repro serve`` drives one from the command line;
+``python -m repro.bench serve`` measures the warm-vs-cold claim.
+"""
+
+from repro.serve.models import (
+    STATUS_ERROR,
+    STATUS_EXPIRED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    QueryRequest,
+    QueryResponse,
+    ResponseStats,
+)
+from repro.serve.server import QueryServer
+
+__all__ = [
+    "QueryServer",
+    "QueryRequest",
+    "QueryResponse",
+    "ResponseStats",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_EXPIRED",
+    "STATUS_ERROR",
+]

@@ -1,0 +1,154 @@
+"""Typed request/response envelopes of the query server.
+
+Plain dataclasses (no web framework, no serialization dependency): the
+server is an in-process library component — N client threads calling
+:meth:`~repro.serve.server.QueryServer.handle` — and a transport layer
+(HTTP, socket) would marshal these envelopes without changing them.  The
+fields mirror what a multi-user deployment actually varies per request:
+the EQL text, the algorithm, a handful of search filters, a wall-clock
+deadline, and result pagination.  Everything else (the graph, the worker
+pool, the shared caches) is server state, deliberately *not* reachable
+from a request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import ValidationError
+
+#: Request was evaluated; ``rows`` hold the (paginated) answer.
+STATUS_OK = "ok"
+#: Admission control refused the request (queue full); nothing ran.
+STATUS_REJECTED = "rejected"
+#: The request's deadline had already elapsed before evaluation started;
+#: nothing ran.  (A deadline that truncates a *running* evaluation still
+#: returns ``STATUS_OK`` with the honest partial rows and
+#: ``stats.deadline_truncated`` set.)
+STATUS_EXPIRED = "expired"
+#: Evaluation failed (parse error, bad config, unknown score...).
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One client query: EQL text plus per-request knobs.
+
+    Parameters
+    ----------
+    query:
+        EQL text (``SELECT ... WHERE { ... }``).
+    algorithm:
+        CTP algorithm name for this request; ``None`` uses the server's
+        default.  Validated against the registry at admission, so a typo
+        is a typed error response, not a worker-side crash.
+    timeout:
+        Per-CTP budget in seconds (the paper's ``T``); ``None`` inherits
+        the server default.
+    deadline:
+        Whole-query wall-clock budget in seconds, measured from the moment
+        the server starts evaluating: every CTP's effective timeout is
+        capped to the remaining budget, and a request whose deadline is
+        already spent (``<= 0`` after queueing) receives ``STATUS_EXPIRED``
+        without running.  ``None`` inherits the server default.
+    limit / offset:
+        Row pagination applied to the final answer (after the query's own
+        ``LIMIT``, if any): ``rows[offset : offset + limit]``.
+        ``total_rows`` on the response always reports the pre-pagination
+        count.
+    uni / labels / max_edges / score / top_k:
+        Per-request overrides of the corresponding search filters
+        (:class:`~repro.ctp.config.SearchConfig`); ``None`` inherits the
+        server's base config.  ``score`` is a *registered score-function
+        name* (``repro.query.scoring``) — requests cross thread and
+        process boundaries, so they carry names, never callables.
+    distinct:
+        Whether the final projection deduplicates rows (default, EQL
+        semantics).
+    tag:
+        Opaque client correlation value, echoed on the response.
+    """
+
+    query: str
+    algorithm: Optional[str] = None
+    timeout: Optional[float] = None
+    deadline: Optional[float] = None
+    limit: Optional[int] = None
+    offset: int = 0
+    uni: Optional[bool] = None
+    labels: Optional[FrozenSet[str]] = None
+    max_edges: Optional[int] = None
+    score: Optional[str] = None
+    top_k: Optional[int] = None
+    distinct: bool = True
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, str) or not self.query.strip():
+            raise ValidationError("QueryRequest.query must be non-empty EQL text")
+        if self.limit is not None and self.limit < 0:
+            raise ValidationError("QueryRequest.limit must be >= 0 (or None for all rows)")
+        if self.offset < 0:
+            raise ValidationError("QueryRequest.offset must be >= 0")
+        if self.labels is not None:
+            object.__setattr__(self, "labels", frozenset(self.labels))
+
+
+@dataclass
+class ResponseStats:
+    """Where the answer came from — the amortization evidence, per response.
+
+    ``warm_pool`` reports whether the worker pool was already warm (live,
+    snapshot-loaded workers) *before* this request: the first request a
+    server ever serves is cold by definition, everything after should be
+    warm — the bench asserts exactly that.  ``memo_hits`` counts CTPs
+    served from the shared cross-CTP/cross-request memo without running a
+    search; ``dispatch_modes`` records what actually executed each CTP
+    ("process" from a pool worker, "memo", or a degraded mode).
+    """
+
+    warm_pool: bool = False
+    memo_hits: int = 0
+    ctp_count: int = 0
+    dispatch_modes: List[str] = field(default_factory=list)
+    deadline_truncated: bool = False
+    pool_dispatches: int = 0
+    pool_respawns: int = 0
+    pending: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class QueryResponse:
+    """What the server hands back for one request, whatever happened.
+
+    Exactly one of the four statuses; ``rows`` are only meaningful under
+    ``STATUS_OK`` — check ``stats.deadline_truncated`` to learn whether a
+    deadline cut the evaluation short (the rows are then the honest
+    partial answer, never silently presented as complete).
+    """
+
+    status: str
+    columns: Tuple[str, ...] = ()
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+    total_rows: int = 0
+    error: Optional[str] = None
+    stats: Optional[ResponseStats] = None
+    tag: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready view (rows stringified — ResultTree values are not
+        JSON-native); transports and the bench harness use this."""
+        return {
+            "status": self.status,
+            "columns": list(self.columns),
+            "rows": [[repr(value) for value in row] for row in self.rows],
+            "total_rows": self.total_rows,
+            "error": self.error,
+            "tag": self.tag,
+        }

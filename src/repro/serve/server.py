@@ -1,0 +1,275 @@
+"""The long-lived query server: one graph, one warm pool, many requests.
+
+This is the serving front-end ROADMAP.md's "persistent worker pools" item
+asks for, and the shape the paper's integrated evaluator implies — a
+journalist's investigation is *sessions* of queries against one graph
+(Section 5's workloads re-run CONNECTs with varied filters), not a
+process per query.  :class:`QueryServer` owns the state every request
+shares:
+
+* a :class:`~repro.query.pool.WorkerPool` — workers spawn once, load the
+  mmap-shared snapshot once, and keep their per-worker contexts warm
+  across requests (the amortization fix this PR exists for);
+* a thread-safe :class:`~repro.ctp.interning.SearchContext` — the
+  cross-CTP memo and interning pool span *requests*, so a CONNECT one
+  client evaluated is a memo hit for every later client that repeats it;
+* admission control — a bounded in-flight budget (``max_pending``):
+  request N+1 gets a typed ``STATUS_REJECTED`` response immediately
+  instead of queueing without bound while every caller's deadline rots.
+
+:meth:`QueryServer.handle` is synchronous and thread-safe: a transport
+layer runs it from N client threads.  Per-request deadlines are enforced
+in two places — an already-expired deadline is refused up front
+(``STATUS_EXPIRED``, nothing runs), and a live one caps every CTP's
+effective timeout to the remaining budget
+(:func:`repro.query.evaluator._cap_to_deadline`), so one expensive
+CONNECT cannot eat the whole query's allowance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.ctp.config import SearchConfig
+from repro.ctp.interning import SearchContext
+from repro.ctp.registry import get_algorithm
+from repro.errors import ReproError
+from repro.query.evaluator import evaluate_query
+from repro.query.pool import WorkerPool
+from repro.query.scoring import get_score_function
+from repro.serve.models import (
+    STATUS_ERROR,
+    STATUS_EXPIRED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    QueryRequest,
+    QueryResponse,
+    ResponseStats,
+)
+
+
+class QueryServer:
+    """Serve EQL queries against one graph from persistent workers.
+
+    Parameters
+    ----------
+    graph:
+        The graph every request runs against.
+    algorithm:
+        Default CTP algorithm (requests may override per call).
+    base_config:
+        Base :class:`SearchConfig` requests inherit from; the server
+        normalizes it to ``parallelism_mode="process"`` and
+        ``shared_context=True`` (those two are what make it a *server*).
+        Defaults to one worker per core.
+    workers:
+        Worker process count for the pool (default: ``os.cpu_count()``).
+    max_pending:
+        In-flight request budget.  ``handle`` admits at most this many
+        concurrent evaluations; the rest are rejected immediately with
+        ``STATUS_REJECTED`` — bounded latency beats an unbounded queue
+        whose tail requests all miss their deadlines anyway.
+    default_deadline / default_timeout:
+        Applied when a request does not carry its own.
+
+    Use as a context manager (or call :meth:`close`): the pool holds OS
+    processes and a temp snapshot file, which should die with the server,
+    not with the interpreter.
+    """
+
+    def __init__(
+        self,
+        graph: Any,
+        algorithm: str = "molesp",
+        base_config: Optional[SearchConfig] = None,
+        workers: Optional[int] = None,
+        max_pending: int = 8,
+        default_deadline: Optional[float] = None,
+        default_timeout: Optional[float] = None,
+    ):
+        if max_pending < 1:
+            raise ReproError(f"QueryServer needs max_pending >= 1, got {max_pending}")
+        get_algorithm(algorithm)  # fail fast on a bad default
+        self.graph = graph
+        self.algorithm = algorithm
+        base = base_config or SearchConfig()
+        self.base_config = base.with_(parallelism_mode="process", shared_context=True)
+        self.default_deadline = default_deadline
+        self.default_timeout = default_timeout
+        self.max_pending = max_pending
+        self.pool = WorkerPool(graph, workers=workers, interning=self.base_config.interning)
+        #: Shared across requests (thread-safe): cross-request memo + pool.
+        self.context = SearchContext(interning=self.base_config.interning, thread_safe=True)
+        self._slots = threading.BoundedSemaphore(max_pending)
+        self._gauge_lock = threading.Lock()
+        self._pending = 0
+        self.served = 0
+        self.rejected = 0
+        self.expired = 0
+        self.errors = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down; later requests are rejected."""
+        self._closed = True
+        self.pool.close()
+
+    def prewarm(self) -> bool:
+        """Spawn the workers and load the snapshot *before* traffic.
+
+        Returns the pool's health verdict; a server started during
+        deployment can pay the cold cost off the request path.
+        """
+        self.pool.prepare()
+        return self.pool.healthy()
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def _config_for(self, request: QueryRequest) -> SearchConfig:
+        """The request's effective search config (may raise ``ReproError``)."""
+        changes: Dict[str, Any] = {}
+        if request.timeout is not None:
+            changes["timeout"] = request.timeout
+        deadline = request.deadline if request.deadline is not None else self.default_deadline
+        if deadline is not None:
+            changes["deadline"] = deadline
+        if request.uni is not None:
+            changes["uni"] = request.uni
+        if request.labels is not None:
+            changes["labels"] = request.labels
+        if request.max_edges is not None:
+            changes["max_edges"] = request.max_edges
+        if request.score is not None:
+            changes["score"] = get_score_function(request.score)
+        if request.top_k is not None:
+            changes["top_k"] = request.top_k
+        return self.base_config.with_(**changes) if changes else self.base_config
+
+    def handle(self, request: QueryRequest) -> QueryResponse:
+        """Evaluate one request; always returns a response, never raises.
+
+        Thread-safe.  The admission check is non-blocking by design: a
+        full server answers *now* with ``STATUS_REJECTED`` so the client
+        can back off or retry elsewhere, instead of holding its deadline
+        hostage in an invisible queue.
+        """
+        if self._closed:
+            with self._gauge_lock:
+                self.rejected += 1
+            return QueryResponse(
+                status=STATUS_REJECTED, error="server is closed", tag=request.tag
+            )
+        if not self._slots.acquire(blocking=False):
+            with self._gauge_lock:
+                self.rejected += 1
+            return QueryResponse(
+                status=STATUS_REJECTED,
+                error=f"server at capacity ({self.max_pending} requests in flight)",
+                tag=request.tag,
+            )
+        with self._gauge_lock:
+            self._pending += 1
+            pending = self._pending
+        try:
+            return self._evaluate_admitted(request, pending)
+        finally:
+            with self._gauge_lock:
+                self._pending -= 1
+            self._slots.release()
+
+    def _evaluate_admitted(self, request: QueryRequest, pending: int) -> QueryResponse:
+        started = time.perf_counter()
+        deadline = request.deadline if request.deadline is not None else self.default_deadline
+        if deadline is not None and deadline <= 0:
+            with self._gauge_lock:
+                self.expired += 1
+            return QueryResponse(
+                status=STATUS_EXPIRED,
+                error=f"deadline of {deadline}s already elapsed before evaluation",
+                tag=request.tag,
+            )
+        # Capture warmth BEFORE evaluating: the claim is about what this
+        # request found, not what it left behind.
+        was_warm = self.pool.warm
+        algorithm = request.algorithm or self.algorithm
+        try:
+            get_algorithm(algorithm)  # admission-time validation
+            config = self._config_for(request)
+            result = evaluate_query(
+                self.graph,
+                request.query,
+                algorithm=algorithm,
+                base_config=config,
+                default_timeout=self.default_timeout,
+                distinct=request.distinct,
+                context=self.context,
+                pool=self.pool,
+            )
+        except ReproError as error:
+            with self._gauge_lock:
+                self.errors += 1
+            return QueryResponse(status=STATUS_ERROR, error=str(error), tag=request.tag)
+        total = len(result.rows)
+        end = None if request.limit is None else request.offset + request.limit
+        rows = result.rows[request.offset : end]
+        stats = ResponseStats(
+            warm_pool=was_warm,
+            memo_hits=sum(1 for report in result.ctp_reports if report.cache_hit),
+            ctp_count=len(result.ctp_reports),
+            dispatch_modes=[report.dispatch_mode for report in result.ctp_reports],
+            deadline_truncated=deadline is not None
+            and any(report.result_set.timed_out for report in result.ctp_reports),
+            pool_dispatches=self.pool.dispatches,
+            pool_respawns=self.pool.respawns,
+            pending=pending,
+            seconds=time.perf_counter() - started,
+        )
+        with self._gauge_lock:
+            self.served += 1
+        return QueryResponse(
+            status=STATUS_OK,
+            columns=result.columns,
+            rows=rows,
+            total_rows=total,
+            stats=stats,
+            tag=request.tag,
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Server + pool + shared-context counters, one flat snapshot."""
+        with self._gauge_lock:
+            counters = {
+                "served": self.served,
+                "rejected": self.rejected,
+                "expired": self.expired,
+                "errors": self.errors,
+                "pending": self._pending,
+                "max_pending": self.max_pending,
+            }
+        counters["pool"] = self.pool.stats()
+        counters["context"] = self.context.stats_dict()
+        return counters
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"QueryServer({state}, served={self.served}, rejected={self.rejected}, "
+            f"pool={self.pool!r})"
+        )

@@ -22,6 +22,7 @@ def test_registry_contains_every_figure_and_table():
         "parallel",
         "process-parallel",
         "query-context",
+        "serve",
     }
 
 
