@@ -59,8 +59,10 @@ from repro.errors import (
     AdmissionError,
     ConfigError,
     EvaluationError,
+    FaultInjected,
     GraphError,
     ParseError,
+    PoolClosedError,
     PoolError,
     QueryError,
     ReproError,
@@ -68,6 +70,7 @@ from repro.errors import (
     SnapshotError,
     StorageError,
     ValidationError,
+    WorkerHangError,
 )
 
 __version__ = "1.0.0"
@@ -81,11 +84,13 @@ __all__ = [
     "EQLQuery",
     "Edge",
     "EvaluationError",
+    "FaultInjected",
     "Graph",
     "GraphBuilder",
     "GraphError",
     "Node",
     "ParseError",
+    "PoolClosedError",
     "PoolError",
     "QueryError",
     "QueryRequest",
@@ -101,6 +106,7 @@ __all__ = [
     "StorageError",
     "ValidationError",
     "WILDCARD",
+    "WorkerHangError",
     "WorkerPool",
     "ensure_snapshot",
     "evaluate_ctp",

@@ -13,6 +13,7 @@ from repro.bench.experiments import (
     fig13_cdf_m2,
     fig14_cdf_m3,
     micro_backend,
+    micro_chaos,
     micro_interning,
     micro_parallel,
     micro_process_parallel,
@@ -34,6 +35,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "table1": table1_yago.run,
     "abl01": abl01_design.run,
     "backend": micro_backend.run,
+    "chaos": micro_chaos.run,
     "interning": micro_interning.run,
     "parallel": micro_parallel.run,
     "process-parallel": micro_process_parallel.run,

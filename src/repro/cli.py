@@ -117,7 +117,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     rounds each — the serving shape (many queries, one graph) rather than
     the one-shot ``query`` subcommand.  Prints one line per response and
     the server's counters at the end.
+
+    SIGINT/SIGTERM shut down gracefully: the server drains — in-flight
+    requests run to completion, new ones are rejected with a typed
+    response — then the pool closes (releasing its workers and the
+    auto-snapshot temp file) before the process exits.  A second signal
+    during the drain is ignored rather than tearing down mid-request.
     """
+    import signal
+    import threading
     from concurrent.futures import ThreadPoolExecutor
 
     from repro.serve import QueryRequest, QueryServer
@@ -151,9 +159,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         default_timeout=args.timeout,
     ) as server:
-        print(f"prewarm: healthy={server.prewarm()} workers={server.pool.workers}")
-        with ThreadPoolExecutor(max_workers=args.clients, thread_name_prefix="repro-client") as clients:
-            responses = list(clients.map(server.handle, requests))
+        # Graceful shutdown: the first SIGINT/SIGTERM starts a drain on a
+        # helper thread (a handler must not block the main thread, which
+        # is collecting responses) — in-flight requests finish, new ones
+        # get typed rejections, then the pool closes.  Handlers are
+        # restored on the way out; only the main thread may install them.
+        signaled = threading.Event()
+
+        def _graceful_shutdown(signum: int, _frame) -> None:
+            if signaled.is_set():
+                return  # already draining; don't tear down mid-request
+            signaled.set()
+            print(
+                f"\nreceived {signal.Signals(signum).name}: draining in-flight "
+                "requests, rejecting new ones...",
+                file=sys.stderr,
+            )
+            threading.Thread(
+                target=server.drain, kwargs={"timeout": 60.0}, daemon=True
+            ).start()
+
+        previous_handlers = {}
+        in_main_thread = threading.current_thread() is threading.main_thread()
+        if in_main_thread:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                previous_handlers[signum] = signal.signal(signum, _graceful_shutdown)
+        try:
+            print(f"prewarm: healthy={server.prewarm()} workers={server.pool.workers}")
+            with ThreadPoolExecutor(max_workers=args.clients, thread_name_prefix="repro-client") as clients:
+                responses = list(clients.map(server.handle, requests))
+        finally:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
         for request, response in zip(requests, responses):
             if response.ok:
                 stats = response.stats
@@ -168,13 +205,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 failures += 1
                 print(f"[{request.tag}] {response.status}: {response.error}")
         counters = server.stats()
+        if signaled.is_set():
+            print("drained: in-flight requests completed, pool closed", file=sys.stderr)
     pool = counters["pool"]
     context = counters["context"]
     print(
         f"\nserved={counters['served']} rejected={counters['rejected']} "
-        f"expired={counters['expired']} errors={counters['errors']} | "
+        f"shed={counters['shed']} expired={counters['expired']} "
+        f"errors={counters['errors']} | "
         f"pool: dispatches={pool['dispatches']} respawns={pool['respawns']} "
-        f"resnapshots={pool['resnapshots']} | "
+        f"resnapshots={pool['resnapshots']} hangs={pool['hangs']} "
+        f"recycles={pool['recycles']} breaker={pool['breaker_state']} | "
         f"ctp_cache={context['ctp_cache_hits']}/"
         f"{context['ctp_cache_hits'] + context['ctp_cache_misses']}"
     )

@@ -82,6 +82,41 @@ class PoolError(ReproError):
     """
 
 
+class PoolClosedError(PoolError):
+    """Raised by :meth:`WorkerPool.submit`/`ping`/`respawn` after ``close()``.
+
+    A typed, stable signal that the pool's lifecycle is over — callers used
+    to see whatever the torn-down executor happened to throw.  The CLI
+    surfaces it as a user-facing error line, and the dispatch layer treats
+    it as "degrade without the pool", never as a retryable worker crash.
+    """
+
+
+class WorkerHangError(PoolError):
+    """Raised when a pooled CTP evaluation blows its hang watchdog.
+
+    The watchdog is derived from the CTP timeouts of the dispatched jobs
+    (plus a grace period): a worker that does not answer inside it is
+    presumed wedged — stuck in native code, a pathological scorer, an
+    injected fault — and is killed and respawned rather than awaited
+    forever.  Retryable: the evaluation is idempotent, so the dispatch
+    layer may re-run it on the fresh workers if the retry policy and the
+    remaining deadline budget allow.
+    """
+
+
+class FaultInjected(ReproError):
+    """Raised by :mod:`repro.faults` machinery inside a fault-injected run.
+
+    Only ever raised when a test/bench installed a
+    :class:`~repro.faults.FaultPlan` (e.g. the ``scorer`` fault raises it
+    from inside a score callable mid-search).  Deterministic user-code
+    failures are *not* retryable — the error must surface to the caller as
+    a typed error, never be papered over by a retry that happens to miss
+    the injection.
+    """
+
+
 class AdmissionError(PoolError):
     """Raised when a query server refuses a request up front.
 

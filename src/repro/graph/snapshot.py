@@ -253,6 +253,10 @@ def load_snapshot(path: PathLike, use_mmap: bool = True, verify_payload: bool = 
     plain mmap load skips it so the load stays O(metadata) — see the
     module docstring for the integrity contract.
     """
+    from repro import faults  # local: test-only hook, zero-cost without a plan
+
+    if faults.active_plan() is not None:
+        path = faults.corrupted_path(path)
     path = Path(path)
     columns: Dict[str, Any] = {}
     mmap_obj = None

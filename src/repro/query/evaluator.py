@@ -53,6 +53,7 @@ from repro.graph.graph import Graph
 from repro.query.ast import CTP, CTPFilters, EQLQuery, Predicate
 from repro.query.bgp import evaluate_bgp
 from repro.query.parallel import CTPJob, run_ctp_jobs
+from repro.query.resilience import ResilienceReport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (pool imports from parallel)
     from repro.query.pool import WorkerPool
@@ -119,6 +120,10 @@ class QueryResult:
     timings: QueryTimings = field(default_factory=QueryTimings)
     ctp_reports: List[CTPReport] = field(default_factory=list)
     context_stats: Optional[Dict[str, int]] = None
+    #: What resilience machinery fired during pooled dispatch (retries,
+    #: hang kills, breaker state, degradation) — ``None`` when the query
+    #: ran without a :class:`~repro.query.pool.WorkerPool`.
+    resilience: Optional[ResilienceReport] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -486,6 +491,7 @@ def evaluate_query(
         )
         jobs.append(CTPJob(index=index, seed_sets=seed_sets, config=config, memo_key=memo_key))
         derived.append((sizes, wildcard_positions))
+    resilience = ResilienceReport() if pool is not None else None
     outcomes = run_ctp_jobs(
         graph,
         algorithm,
@@ -494,6 +500,7 @@ def evaluate_query(
         base_config.parallelism,
         base_config.parallelism_mode,
         pool=pool,
+        report=resilience,
     )
     ctp_tables: List[Table] = []
     reports: List[CTPReport] = []
@@ -536,4 +543,5 @@ def evaluate_query(
         timings=QueryTimings(bgp_seconds, ctp_seconds, join_seconds),
         ctp_reports=reports,
         context_stats=context_stats,
+        resilience=resilience,
     )

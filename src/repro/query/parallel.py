@@ -74,10 +74,11 @@ from repro.ctp.interning import SearchContext
 from repro.ctp.registry import get_algorithm
 from repro.ctp.results import CTPResultSet
 from repro.ctp.stats import SearchStats
-from repro.errors import ReproError
+from repro.errors import PoolClosedError, ReproError, WorkerHangError
 from repro.graph.backend import resolve_backend
 from repro.graph.graph import Graph
 from repro.graph.snapshot import ensure_snapshot
+from repro.query.resilience import ResilienceReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (evaluator imports us)
     from repro.query.evaluator import QueryResult
@@ -110,7 +111,11 @@ class CTPOutcome:
     therefore differ from the requested ``parallelism_mode`` — process
     dispatch degrades to thread/serial for unpicklable jobs or a broken
     pool: the fallback is silent by design, but it must stay *observable*
-    so a ~0.9x thread run never masquerades as multi-core.
+    so a ~0.9x thread run never masquerades as multi-core.  A *pooled*
+    dispatch that exhausted its retries (or was refused by an open
+    circuit breaker) stamps the hop explicitly — ``"process->thread"`` /
+    ``"process->serial"`` — distinguishing forced degradation from a
+    dispatch that never wanted process mode at all.
     """
 
     result_set: CTPResultSet
@@ -155,6 +160,7 @@ def run_ctp_jobs(
     parallelism: int = 1,
     mode: str = "thread",
     pool: Optional["WorkerPool"] = None,
+    report: Optional[ResilienceReport] = None,
 ) -> List[CTPOutcome]:
     """Evaluate ``jobs`` and return one :class:`CTPOutcome` per job, in order.
 
@@ -167,6 +173,15 @@ def run_ctp_jobs(
     eliminated spin-up); without a pool the historical collapse-to-serial
     rules apply unchanged.  A closed pool, or one bound to a different
     graph, is ignored rather than trusted.
+
+    Pooled dispatch is guarded by the pool's circuit breaker: while it is
+    open (repeated pool failures), dispatch degrades *directly* to the
+    thread/serial chain — stamping the hop in each outcome's ``mode`` —
+    instead of paying a doomed spawn/fail cycle per query; half-open
+    probe dispatches are admitted per the breaker's policy and their
+    outcome closes or re-opens it.  ``report`` (a
+    :class:`~repro.query.resilience.ResilienceReport`) collects what
+    resilience machinery fired, for the serving layer's telemetry.
     """
     if (
         pool is not None
@@ -175,7 +190,13 @@ def run_ctp_jobs(
         and not pool.closed
         and pool.matches(graph)
     ):
-        return _run_process_pooled(graph, algorithm, jobs, context, pool, parallelism)
+        if not pool.breaker.allow():
+            if report is not None:
+                report.breaker_skips += 1
+                report.breaker_state = pool.breaker.state
+                report.recycled_workers = pool.recycles
+            return _degraded_from_process(graph, algorithm, jobs, context, parallelism, report)
+        return _run_process_pooled(graph, algorithm, jobs, context, pool, parallelism, report)
     workers = effective_parallelism(parallelism, len(jobs), context, mode)
     if workers <= 1:
         return _run_serial(graph, algorithm, jobs, context)
@@ -222,6 +243,7 @@ def _fan_out(
     context: Optional[SearchContext],
     pool: Any,
     submit_one: Any,
+    result_timeout: Optional[float] = None,
 ) -> Tuple[List[Optional[CTPOutcome]], List[int]]:
     """Phases 1-2 of a pooled dispatch, executor-agnostic.
 
@@ -237,6 +259,13 @@ def _fan_out(
     overlaps still-running leaders instead of queueing behind the slowest
     one.  Outcomes are written by CTP index, so the completion order never
     shows in the results.
+
+    ``result_timeout`` is the hang watchdog (process-pool dispatch only):
+    a wall-clock budget for the *whole* fan-out, derived by the caller
+    from the jobs' own CTP timeouts.  Blowing it raises
+    :class:`~repro.errors.WorkerHangError` — a worker that cannot even
+    return a ``timed_out`` partial result inside its own budget plus
+    grace is wedged, and waiting longer would hold the dispatch forever.
     """
     outcomes: List[Optional[CTPOutcome]] = [None] * len(jobs)
     pending: List[CTPJob] = []
@@ -253,24 +282,39 @@ def _fan_out(
         key = job.memo_key if job.memo_key is not None else ("__unkeyed__", job.index)
         groups.setdefault(key, []).append(job)
 
+    watchdog_deadline = (
+        time.monotonic() + result_timeout if result_timeout is not None else None
+    )
+
+    def remaining() -> Optional[float]:
+        if watchdog_deadline is None:
+            return None
+        return max(1e-3, watchdog_deadline - time.monotonic())
+
     followers: List[int] = []
     future_to_group = {submit_one(pool, group[0]): group for group in groups.values()}
     rerun_futures: List[Tuple[CTPJob, Any]] = []
-    for future in as_completed(future_to_group):
-        group = future_to_group[future]
-        result_set, seconds = future.result()
-        leader = group[0]
-        outcomes[leader.index] = CTPOutcome(result_set, False, seconds)
-        if _replayable(result_set):
-            # Exactly the runs the serial path would serve as memo hits.
-            for follower in group[1:]:
-                outcomes[follower.index] = CTPOutcome(result_set, True, 0.0)
-                followers.append(follower.index)
-        else:
-            rerun_futures.extend((job, submit_one(pool, job)) for job in group[1:])
-    for job, future in rerun_futures:
-        result_set, seconds = future.result()
-        outcomes[job.index] = CTPOutcome(result_set, False, seconds)
+    try:
+        for future in as_completed(future_to_group, timeout=remaining()):
+            group = future_to_group[future]
+            result_set, seconds = future.result()
+            leader = group[0]
+            outcomes[leader.index] = CTPOutcome(result_set, False, seconds)
+            if _replayable(result_set):
+                # Exactly the runs the serial path would serve as memo hits.
+                for follower in group[1:]:
+                    outcomes[follower.index] = CTPOutcome(result_set, True, 0.0)
+                    followers.append(follower.index)
+            else:
+                rerun_futures.extend((job, submit_one(pool, job)) for job in group[1:])
+        for job, future in rerun_futures:
+            result_set, seconds = future.result(timeout=remaining())
+            outcomes[job.index] = CTPOutcome(result_set, False, seconds)
+    except TimeoutError as error:
+        raise WorkerHangError(
+            f"pooled fan-out of {len(pending)} CTP job(s) exceeded its "
+            f"{result_timeout:.3f}s hang watchdog"
+        ) from error
     return outcomes, followers
 
 
@@ -351,17 +395,31 @@ _worker_graph: Any = None
 _worker_context: Optional[SearchContext] = None
 
 
-def _process_worker_init(snapshot_path: str, interning: bool) -> None:
+def _process_worker_init(
+    snapshot_path: str,
+    interning: bool,
+    fault_plan: Any = None,
+    epoch: int = 0,
+) -> None:
     """Executor initializer: load the mmap-shared snapshot ONCE per worker.
 
     Every job this worker ever runs reuses the same graph object (so the
     kernel shares the snapshot's pages across all workers mapping it) and
     the same private context (so sibling CTPs dispatched to this worker
     still get pool/cache reuse, just scoped to the worker).
+
+    ``fault_plan``/``epoch`` re-install the parent's active
+    :class:`~repro.faults.FaultPlan` in this worker (module globals do not
+    cross the forkserver/spawn boundary) — *before* the snapshot load, so
+    ``corrupt_snapshot`` faults can fire from the load itself.  Both
+    default to inert values; production dispatch always ships ``None``.
     """
     global _worker_graph, _worker_context
+    from repro import faults
     from repro.graph.snapshot import load_snapshot
 
+    if fault_plan is not None:
+        faults.install_plan(fault_plan, epoch=epoch)
     _worker_graph = load_snapshot(snapshot_path)
     _worker_context = SearchContext(interning=interning)
 
@@ -370,6 +428,9 @@ def _process_worker_run(
     algorithm: str, seed_sets: List[Any], config: SearchConfig
 ) -> Tuple[CTPResultSet, float]:
     """Evaluate one CTP inside a worker against the worker's graph/context."""
+    from repro import faults
+
+    faults.inject(faults.SITE_WORKER_RUN)
     started = time.perf_counter()
     result_set = get_algorithm(algorithm).run(
         _worker_graph, seed_sets, config, context=_worker_context
@@ -461,12 +522,14 @@ def _run_process(
         return _fallback_dispatch(resolved, algorithm, jobs, context, workers)
     if not _jobs_picklable(algorithm, jobs):
         return _fallback_dispatch(resolved, algorithm, jobs, context, workers)
+    from repro import faults
+
     try:
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=_process_pool_context(),
             initializer=_process_worker_init,
-            initargs=(snapshot_path, jobs[0].config.interning),
+            initargs=(snapshot_path, jobs[0].config.interning, faults.active_plan(), 0),
         ) as pool:
             outcomes, followers = _fan_out(
                 jobs,
@@ -482,6 +545,58 @@ def _run_process(
     return _stamp_mode(outcomes, "process")
 
 
+def _degraded_from_process(
+    graph: Graph,
+    algorithm: str,
+    jobs: Sequence[CTPJob],
+    context: Optional[SearchContext],
+    parallelism: int,
+    report: Optional[ResilienceReport] = None,
+) -> List[CTPOutcome]:
+    """Give up on pooled process dispatch: run threads, else serial.
+
+    Same eligibility rules as :func:`_fallback_dispatch` (threads need a
+    thread-safe or absent context and more than one job/worker), but the
+    hop is stamped into each executed outcome's ``mode`` —
+    ``"process->thread"`` / ``"process->serial"`` — so a degraded pooled
+    dispatch is distinguishable both from a healthy pooled run and from
+    the per-call fallback path (whose plain ``"thread"``/``"serial"``
+    stamps are unchanged).  Memo-served outcomes keep ``"memo"``.
+    """
+    workers = effective_parallelism(parallelism, len(jobs), context, "thread")
+    if workers > 1 and (context is None or context.thread_safe):
+        outcomes = _run_parallel(graph, algorithm, jobs, context, workers)
+        hop = "thread"
+    else:
+        outcomes = _run_serial(graph, algorithm, jobs, context)
+        hop = "serial"
+    for outcome in outcomes:
+        if outcome.mode != "memo":
+            outcome.mode = f"process->{outcome.mode}"
+    if report is not None:
+        report.degraded_to = hop
+    return outcomes
+
+
+def _watchdog_budget(jobs: Sequence[CTPJob], pool: "WorkerPool") -> float:
+    """The hang watchdog for one pooled fan-out, in seconds.
+
+    Sum of the jobs' own CTP timeouts — a query deadline has already
+    capped each one to the remaining wall budget at job-build time, so
+    this is deadline-derived where a deadline exists — with the pool's
+    ``hang_timeout`` standing in for unbounded jobs, plus a fixed grace
+    for spawn/queue/serialization overhead.  The sum (not the max) is the
+    honest bound: with fewer workers than jobs the slowest schedule runs
+    them back to back.
+    """
+    rules = pool.resilience
+    per_job = sum(
+        job.config.timeout if job.config.timeout is not None else rules.hang_timeout
+        for job in jobs
+    )
+    return per_job + rules.hang_grace
+
+
 def _run_process_pooled(
     graph: Graph,
     algorithm: str,
@@ -489,6 +604,7 @@ def _run_process_pooled(
     context: Optional[SearchContext],
     pool: "WorkerPool",
     parallelism: int,
+    report: Optional[ResilienceReport] = None,
 ) -> List[CTPOutcome]:
     """Fan the jobs out to a *persistent* :class:`~repro.query.pool.WorkerPool`.
 
@@ -498,39 +614,100 @@ def _run_process_pooled(
     mmap-loaded graphs and warm per-worker contexts) alive across calls,
     so this dispatch pays zero spin-up once the pool is warm.
 
-    Failure policy: a ``BrokenProcessPool`` mid-fan-out triggers exactly
-    one :meth:`~repro.query.pool.WorkerPool.respawn` + retry — a crashed
-    worker costs one executor rebuild, not silent thread-fallback for the
-    rest of the pool's life.  Only a *second* consecutive break (or an
-    unpicklable/unsnapshotable job, which no respawn can fix) re-enters
-    :func:`run_ctp_jobs` without the pool, taking the historical per-call
-    dispatch chain (process -> thread -> serial) with all its own
-    degradation rules.
+    Failure policy (the pool's :class:`~repro.query.resilience.RetryPolicy`
+    + :class:`~repro.query.resilience.CircuitBreaker`):
+
+    * Every fan-out runs under a **hang watchdog** derived from the jobs'
+      CTP timeouts (:func:`_watchdog_budget`); blowing it kill-respawns
+      the workers (:meth:`~repro.query.pool.WorkerPool.recover_from_hang`)
+      instead of waiting forever.
+    * A retryable infrastructure failure (``BrokenProcessPool``, hang,
+      ``OSError``) respawns the workers and re-runs the fan-out — the
+      evaluation is idempotent — up to the policy's attempt budget, with
+      jittered backoff, and never when the backoff would overrun the
+      deadline budget the jobs have left.  Each failure feeds the
+      breaker; a final success resets it.
+    * Exhausted retries (or an unpicklable/unsnapshotable workload, which
+      no respawn can fix) degrade to :func:`_degraded_from_process` —
+      thread or serial with the hop stamped in ``mode`` — rather than
+      failing the query.  Deterministic evaluation errors (e.g. a raising
+      scorer) are *not* retried or degraded: they propagate to the caller
+      as typed errors, because re-running them elsewhere would just fail
+      again — or worse, mask a real bug.
     """
 
-    def without_pool() -> List[CTPOutcome]:
-        return run_ctp_jobs(graph, algorithm, jobs, context, parallelism, "process")
+    def degrade() -> List[CTPOutcome]:
+        return _degraded_from_process(graph, algorithm, jobs, context, parallelism, report)
 
+    policy = pool.retry_policy
+    breaker = pool.breaker
     try:
         pool.prepare()
     except (ReproError, OSError, pickle.PicklingError, TypeError, AttributeError):
-        return without_pool()
+        breaker.record_failure()
+        _note_pool_state(report, pool)
+        return degrade()
     if not _jobs_picklable(algorithm, jobs):
-        return without_pool()
+        # Not a pool failure — the workload itself cannot cross a process
+        # boundary, so the breaker is not charged for it.
+        _note_pool_state(report, pool)
+        return degrade()
 
     def submit_one(p: "WorkerPool", job: CTPJob) -> Any:
         return p.submit(algorithm, job.seed_sets, job.config)
 
-    try:
-        outcomes, followers = _fan_out(jobs, context, pool, submit_one)
-    except BrokenProcessPool:
+    watchdog = _watchdog_budget(jobs, pool)
+    budget = min(
+        (job.config.timeout for job in jobs if job.config.timeout is not None),
+        default=None,
+    )
+    started = time.monotonic()
+    rng = policy.rng()
+    attempt = 1
+    while True:
         try:
-            pool.respawn()
-            outcomes, followers = _fan_out(jobs, context, pool, submit_one)
-        except (BrokenProcessPool, ReproError, OSError):
-            return without_pool()
+            outcomes, followers = _fan_out(
+                jobs, context, pool, submit_one, result_timeout=watchdog
+            )
+            breaker.record_success()
+            break
+        except policy.retryable as error:
+            breaker.record_failure()
+            try:
+                if isinstance(error, WorkerHangError):
+                    if report is not None:
+                        report.hangs += 1
+                    pool.recover_from_hang()
+                else:
+                    pool.respawn()
+                if report is not None:
+                    report.respawns += 1
+            except (PoolClosedError, ReproError, OSError):
+                # The pool cannot be rebuilt (closed under us, snapshot
+                # gone): no retry can succeed on it.
+                _note_pool_state(report, pool)
+                return degrade()
+            if not policy.should_retry(
+                attempt, error, elapsed=time.monotonic() - started, budget=budget
+            ):
+                _note_pool_state(report, pool)
+                return degrade()
+            backoff = policy.backoff_seconds(attempt, rng)
+            if backoff > 0:
+                time.sleep(backoff)
+            if report is not None:
+                report.retries += 1
+            attempt += 1
+    _note_pool_state(report, pool)
     _replay_memo(jobs, outcomes, followers, context)
     return _stamp_mode(outcomes, "process")
+
+
+def _note_pool_state(report: Optional[ResilienceReport], pool: "WorkerPool") -> None:
+    """Record the pool's breaker state and recycle count on the report."""
+    if report is not None:
+        report.breaker_state = pool.breaker.state
+        report.recycled_workers = pool.recycles
 
 
 # ----------------------------------------------------------------------

@@ -46,8 +46,26 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Dict, List, Optional
 
 from repro.ctp.config import SearchConfig
-from repro.errors import PoolError
+from repro.errors import PoolClosedError, PoolError
 from repro.graph.snapshot import ensure_snapshot, release_auto_snapshot
+from repro.query.resilience import CircuitBreaker, PoolResilienceConfig, RetryPolicy
+
+
+def _worker_rss_mb(pid: int) -> Optional[float]:
+    """Resident set of ``pid`` in MiB via ``/proc`` (None where unsupported).
+
+    Best-effort: any platform without procfs, or a pid that exited between
+    listing and reading, yields ``None`` and the caller skips the check —
+    RSS-based recycling is an optimization, never a correctness gate.
+    """
+    try:
+        with open(f"/proc/{pid}/status", "r", encoding="ascii", errors="replace") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
 
 
 def _worker_probe() -> Dict[str, Any]:
@@ -98,12 +116,21 @@ class WorkerPool:
         graph: Any,
         workers: Optional[int] = None,
         interning: bool = True,
+        resilience: Optional[PoolResilienceConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         if workers is not None and workers < 1:
             raise PoolError(f"WorkerPool needs workers >= 1, got {workers}")
         self.graph = graph
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.interning = interning
+        #: Lifecycle knobs (recycling thresholds, hang watchdog budgets).
+        self.resilience = resilience if resilience is not None else PoolResilienceConfig()
+        #: Retry discipline the dispatch layer applies to pooled fan-outs.
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        #: Failure gate for process-mode dispatch through this pool.
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._executor: Optional[ProcessPoolExecutor] = None
         self._csr: Any = None
         self._snapshot_path: Optional[str] = None
@@ -118,10 +145,15 @@ class WorkerPool:
         self.dispatches = 0
         #: Health probes served (a successful ping proves spawned workers).
         self.pings = 0
+        #: Hang-watchdog recoveries (kill-respawns of a wedged executor).
+        self.hangs = 0
+        #: Proactive worker recycles (request-count or RSS threshold).
+        self.recycles = 0
         # Work served by the CURRENT executor epoch — warmth is per epoch
         # (a respawned-but-idle executor is cold again), while the public
         # counters above are lifetime totals.
         self._epoch_work = 0
+        self._rss_countdown = self.resilience.rss_check_every
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -189,10 +221,11 @@ class WorkerPool:
         past the snapshot's — the old file is stale *topology*, so it is
         released and the workers respawn over a fresh snapshot.
         """
+        from repro import faults
         from repro.query.parallel import _process_pool_context, _process_worker_init
 
         if self._closed:
-            raise PoolError("WorkerPool is closed")
+            raise PoolClosedError("WorkerPool is closed")
         generation = getattr(self.graph, "generation", 0)
         if self._executor is not None and generation == self._snapshot_generation:
             return self._executor
@@ -206,23 +239,67 @@ class WorkerPool:
         self._csr, self._snapshot_path = ensure_snapshot(self.graph)
         self._snapshot_generation = generation
         self._epoch_work = 0
+        # Workers must re-apply any installed fault plan themselves (module
+        # globals do not survive the forkserver/spawn boundary); the epoch
+        # lets specs target specific worker generations, so an epoch-0-only
+        # crash stops firing once recovery replaced the workers.
         self._executor = ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=_process_pool_context(),
             initializer=_process_worker_init,
-            initargs=(self._snapshot_path, self.interning),
+            initargs=(
+                self._snapshot_path,
+                self.interning,
+                faults.active_plan(),
+                self.respawns + self.recycles,
+            ),
         )
         return self._executor
 
+    def _maybe_recycle_locked(self) -> None:
+        """Proactive worker recycling, checked at dispatch boundaries only.
+
+        Recycling mid-fan-out would cancel a query's own in-flight jobs, so
+        the check runs exclusively from :meth:`prepare` — between queries.
+        Two triggers: the current executor epoch served ``recycle_after``
+        jobs, or a worker's RSS (sampled every ``rss_check_every``
+        dispatches via ``/proc``) exceeds ``max_worker_rss_mb`` — the leaky
+        scorer case the ROADMAP names, where a worker accretes state no
+        single request is responsible for.  Tearing down here is enough:
+        :meth:`_ensure_locked` rebuilds on the next use, and the fresh
+        workers re-run the initializer over the same snapshot file.
+        """
+        if self._executor is None:
+            return
+        rules = self.resilience
+        reason = None
+        if rules.recycle_after is not None and self._epoch_work >= rules.recycle_after:
+            reason = "requests"
+        elif rules.max_worker_rss_mb is not None:
+            self._rss_countdown -= 1
+            if self._rss_countdown <= 0:
+                self._rss_countdown = rules.rss_check_every
+                for proc in list(getattr(self._executor, "_processes", {}).values()):
+                    rss = _worker_rss_mb(proc.pid)
+                    if rss is not None and rss > rules.max_worker_rss_mb:
+                        reason = "rss"
+                        break
+        if reason is not None:
+            self._shutdown_locked()
+            self.recycles += 1
+
     def prepare(self) -> Any:
         """Freeze/snapshot the graph and make the executor live (no spawn
-        is forced — workers start on first submit).  Returns the frozen
-        CSR graph the workers will map."""
+        is forced — workers start on first submit).  Recycling thresholds
+        are evaluated here, at the dispatch boundary, so a worker set due
+        for replacement is torn down *between* queries, never under one.
+        Returns the frozen CSR graph the workers will map."""
         with self._lock:
+            self._maybe_recycle_locked()
             self._ensure_locked()
             return self._csr
 
-    def respawn(self) -> None:
+    def respawn(self, kill: bool = False) -> None:
         """Tear the executor down and rebuild it (crashed-worker recovery).
 
         Called by the dispatch layer when a fan-out dies with
@@ -230,13 +307,38 @@ class WorkerPool:
         initializer, so the workers come back warm-loadable (same snapshot
         file) at the cost of one spin-up — instead of every later dispatch
         silently degrading to the thread pool forever.
+
+        ``kill=True`` is the hang-recovery form: a wedged worker would
+        block the executor's graceful ``shutdown(wait=True)`` forever, so
+        the worker processes are killed outright and the shutdown does not
+        wait.  Pending futures are cancelled either way.
         """
         with self._lock:
             if self._closed:
-                raise PoolError("WorkerPool is closed")
-            self._shutdown_locked()
+                raise PoolClosedError("WorkerPool is closed")
+            if kill and self._executor is not None:
+                for proc in list(getattr(self._executor, "_processes", {}).values()):
+                    try:
+                        proc.kill()
+                    except (OSError, ValueError, AttributeError):
+                        pass
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+            else:
+                self._shutdown_locked()
             self.respawns += 1
             self._ensure_locked()
+
+    def recover_from_hang(self) -> None:
+        """Hang-watchdog recovery: count the hang, kill-respawn the workers.
+
+        The dispatch layer calls this when a pooled fan-out blows its
+        watchdog (:class:`~repro.errors.WorkerHangError`): the hung worker
+        is presumed wedged in native code or a pathological scorer, so a
+        graceful shutdown would never return.
+        """
+        self.hangs += 1
+        self.respawn(kill=True)
 
     # ------------------------------------------------------------------
     # work
@@ -245,9 +347,10 @@ class WorkerPool:
         """Submit one CTP evaluation; returns a future of ``(result_set, seconds)``.
 
         May raise ``BrokenProcessPool`` (executor already broken) or
-        :class:`~repro.errors.PoolError` (closed); snapshot failures
-        propagate from :func:`ensure_snapshot`.  The dispatch layer wraps
-        this with retry-after-respawn.
+        :class:`~repro.errors.PoolClosedError` (submitting after
+        ``close()``); snapshot failures propagate from
+        :func:`ensure_snapshot`.  The dispatch layer wraps this with
+        retry-after-respawn under its :class:`RetryPolicy`.
         """
         from repro.query.parallel import _process_worker_run
 
@@ -257,7 +360,7 @@ class WorkerPool:
             self._epoch_work += 1
         return executor.submit(_process_worker_run, algorithm, seed_sets, config)
 
-    def ping(self, timeout: float = 30.0) -> Dict[str, Any]:
+    def ping(self, timeout: float = 5.0) -> Dict[str, Any]:
         """Round-trip a health probe through a worker.
 
         Proves the pool can spawn workers, run their initializer, and
@@ -265,6 +368,13 @@ class WorkerPool:
         snapshot graph is loaded, and its context's cumulative run count.
         Raises whatever the probe run raises (``BrokenProcessPool``,
         ``TimeoutError``) — callers treat any exception as unhealthy.
+
+        The default timeout is deliberately small: a ping exists to answer
+        "is the pool responsive *now*", and a hung worker must fail the
+        probe in bounded time instead of stalling health checks for the
+        old 30-second default.  Cold spawn + snapshot load fits comfortably
+        within it; callers expecting a heavyweight first spawn may pass a
+        larger budget explicitly.
         """
         with self._lock:
             executor = self._ensure_locked()
@@ -274,8 +384,8 @@ class WorkerPool:
             self._epoch_work += 1
         return probe
 
-    def healthy(self, timeout: float = 30.0) -> bool:
-        """Best-effort boolean form of :meth:`ping`."""
+    def healthy(self, timeout: float = 5.0) -> bool:
+        """Best-effort boolean form of :meth:`ping` (expiry = unhealthy)."""
         if self._closed:
             return False
         try:
@@ -307,6 +417,10 @@ class WorkerPool:
             "pings": self.pings,
             "respawns": self.respawns,
             "resnapshots": self.resnapshots,
+            "hangs": self.hangs,
+            "recycles": self.recycles,
+            "breaker_state": self.breaker.state,
+            "breaker_trips": self.breaker.trips,
             "snapshot_generation": self._snapshot_generation,
         }
 

@@ -13,10 +13,14 @@ per-response provenance (warm pool? memo hits? what dispatch ran?).
 """
 
 from repro.serve.models import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
     STATUS_ERROR,
     STATUS_EXPIRED,
     STATUS_OK,
     STATUS_REJECTED,
+    STATUS_SHED,
     QueryRequest,
     QueryResponse,
     ResponseStats,
@@ -28,8 +32,12 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "ResponseStats",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "PRIORITY_HIGH",
     "STATUS_OK",
     "STATUS_REJECTED",
+    "STATUS_SHED",
     "STATUS_EXPIRED",
     "STATUS_ERROR",
 ]

@@ -22,6 +22,11 @@ from repro.errors import ValidationError
 STATUS_OK = "ok"
 #: Admission control refused the request (queue full); nothing ran.
 STATUS_REJECTED = "rejected"
+#: Load shedding refused the request: the server is under pressure and
+#: the request's priority lost the triage (low-priority work is turned
+#: away *before* the queue is hard-full, so high-priority requests still
+#: find a slot).  Nothing ran; clients should back off, not fast-retry.
+STATUS_SHED = "shed"
 #: The request's deadline had already elapsed before evaluation started;
 #: nothing ran.  (A deadline that truncates a *running* evaluation still
 #: returns ``STATUS_OK`` with the honest partial rows and
@@ -29,6 +34,13 @@ STATUS_REJECTED = "rejected"
 STATUS_EXPIRED = "expired"
 #: Evaluation failed (parse error, bad config, unknown score...).
 STATUS_ERROR = "error"
+
+#: Request priorities (:attr:`QueryRequest.priority`).  Under pressure the
+#: server sheds ``PRIORITY_LOW`` work first; ``PRIORITY_HIGH`` is only
+#: refused when the queue is hard-full.
+PRIORITY_LOW = 0
+PRIORITY_NORMAL = 1
+PRIORITY_HIGH = 2
 
 
 @dataclass(frozen=True)
@@ -66,6 +78,12 @@ class QueryRequest:
     distinct:
         Whether the final projection deduplicates rows (default, EQL
         semantics).
+    priority:
+        Admission priority (:data:`PRIORITY_LOW` / :data:`PRIORITY_NORMAL`
+        / :data:`PRIORITY_HIGH`).  Under load-shedding pressure the server
+        refuses low-priority requests (``STATUS_SHED``) while slots
+        remain for normal/high work; priorities never reorder requests
+        already admitted.
     tag:
         Opaque client correlation value, echoed on the response.
     """
@@ -82,6 +100,7 @@ class QueryRequest:
     score: Optional[str] = None
     top_k: Optional[int] = None
     distinct: bool = True
+    priority: int = PRIORITY_NORMAL
     tag: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -91,6 +110,11 @@ class QueryRequest:
             raise ValidationError("QueryRequest.limit must be >= 0 (or None for all rows)")
         if self.offset < 0:
             raise ValidationError("QueryRequest.offset must be >= 0")
+        if self.priority not in (PRIORITY_LOW, PRIORITY_NORMAL, PRIORITY_HIGH):
+            raise ValidationError(
+                f"QueryRequest.priority must be one of {PRIORITY_LOW}/{PRIORITY_NORMAL}/"
+                f"{PRIORITY_HIGH}, got {self.priority!r}"
+            )
         if self.labels is not None:
             object.__setattr__(self, "labels", frozenset(self.labels))
 
@@ -117,6 +141,15 @@ class ResponseStats:
     pool_respawns: int = 0
     pending: int = 0
     seconds: float = 0.0
+    #: Resilience telemetry for THIS request: pooled fan-outs re-run
+    #: after a crash/hang, and hang-watchdog kills it triggered.
+    retries: int = 0
+    hangs: int = 0
+    #: Pool-level state as of this response: the circuit breaker's state
+    #: ("closed"/"open"/"half_open") and the lifetime count of workers
+    #: proactively recycled (request-count or RSS threshold).
+    breaker_state: str = "closed"
+    recycled_workers: int = 0
 
 
 @dataclass

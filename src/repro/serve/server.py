@@ -40,10 +40,12 @@ from repro.query.evaluator import evaluate_query
 from repro.query.pool import WorkerPool
 from repro.query.scoring import get_score_function
 from repro.serve.models import (
+    PRIORITY_LOW,
     STATUS_ERROR,
     STATUS_EXPIRED,
     STATUS_OK,
     STATUS_REJECTED,
+    STATUS_SHED,
     QueryRequest,
     QueryResponse,
     ResponseStats,
@@ -71,12 +73,27 @@ class QueryServer:
         concurrent evaluations; the rest are rejected immediately with
         ``STATUS_REJECTED`` — bounded latency beats an unbounded queue
         whose tail requests all miss their deadlines anyway.
+    shed_threshold:
+        Load-shedding watermark (default: half of ``max_pending``).  Once
+        this many requests are in flight, new ``PRIORITY_LOW`` requests
+        receive ``STATUS_SHED`` instead of competing for the remaining
+        slots — under pressure, background work is turned away *first*,
+        so interactive traffic still finds capacity instead of losing a
+        FIFO race to a bulk scan.  Normal/high-priority requests are only
+        refused when the queue is hard-full.
     default_deadline / default_timeout:
         Applied when a request does not carry its own.
+    pool_config:
+        Extra keyword arguments for the server's
+        :class:`~repro.query.pool.WorkerPool` — ``resilience``
+        (:class:`~repro.query.resilience.PoolResilienceConfig`: recycling
+        thresholds, hang watchdog budgets), ``retry_policy``, ``breaker``.
 
     Use as a context manager (or call :meth:`close`): the pool holds OS
     processes and a temp snapshot file, which should die with the server,
-    not with the interpreter.
+    not with the interpreter.  For an orderly shutdown under traffic,
+    call :meth:`drain` first — it stops admissions, lets in-flight
+    requests finish, then closes.
     """
 
     def __init__(
@@ -86,11 +103,17 @@ class QueryServer:
         base_config: Optional[SearchConfig] = None,
         workers: Optional[int] = None,
         max_pending: int = 8,
+        shed_threshold: Optional[int] = None,
         default_deadline: Optional[float] = None,
         default_timeout: Optional[float] = None,
+        pool_config: Optional[Dict[str, Any]] = None,
     ):
         if max_pending < 1:
             raise ReproError(f"QueryServer needs max_pending >= 1, got {max_pending}")
+        if shed_threshold is not None and not 1 <= shed_threshold <= max_pending:
+            raise ReproError(
+                f"QueryServer needs 1 <= shed_threshold <= max_pending, got {shed_threshold}"
+            )
         get_algorithm(algorithm)  # fail fast on a bad default
         self.graph = graph
         self.algorithm = algorithm
@@ -99,7 +122,15 @@ class QueryServer:
         self.default_deadline = default_deadline
         self.default_timeout = default_timeout
         self.max_pending = max_pending
-        self.pool = WorkerPool(graph, workers=workers, interning=self.base_config.interning)
+        self.shed_threshold = (
+            shed_threshold if shed_threshold is not None else max(1, max_pending // 2)
+        )
+        self.pool = WorkerPool(
+            graph,
+            workers=workers,
+            interning=self.base_config.interning,
+            **(pool_config or {}),
+        )
         #: Shared across requests (thread-safe): cross-request memo + pool.
         self.context = SearchContext(interning=self.base_config.interning, thread_safe=True)
         self._slots = threading.BoundedSemaphore(max_pending)
@@ -109,7 +140,9 @@ class QueryServer:
         self.rejected = 0
         self.expired = 0
         self.errors = 0
+        self.shed = 0
         self._closed = False
+        self._draining = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -124,10 +157,39 @@ class QueryServer:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     def close(self) -> None:
         """Shut the worker pool down; later requests are rejected."""
         self._closed = True
         self.pool.close()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop admitting, finish in-flight, close.
+
+        New requests are rejected from the moment this is called;
+        evaluations already admitted run to completion.  ``timeout``
+        bounds the wait (seconds; ``None`` waits indefinitely).  Returns
+        whether the server drained fully within the budget — either way
+        the server ends up closed (a timed-out drain closes anyway:
+        SIGTERM means *exit*, and the pool's shutdown cancels whatever is
+        still queued).  Idempotent and safe from signal-handler context.
+        """
+        self._draining = True
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        drained = True
+        while True:
+            with self._gauge_lock:
+                if self._pending == 0:
+                    break
+            if deadline is not None and time.perf_counter() >= deadline:
+                drained = False
+                break
+            time.sleep(0.01)
+        self.close()
+        return drained
 
     def prewarm(self) -> bool:
         """Spawn the workers and load the snapshot *before* traffic.
@@ -167,14 +229,30 @@ class QueryServer:
         Thread-safe.  The admission check is non-blocking by design: a
         full server answers *now* with ``STATUS_REJECTED`` so the client
         can back off or retry elsewhere, instead of holding its deadline
-        hostage in an invisible queue.
+        hostage in an invisible queue.  Under pressure (in-flight count
+        at or past ``shed_threshold``) low-priority requests are shed
+        before the queue hard-fills, so normal/high-priority work keeps
+        finding slots.
         """
-        if self._closed:
+        if self._closed or self._draining:
             with self._gauge_lock:
                 self.rejected += 1
-            return QueryResponse(
-                status=STATUS_REJECTED, error="server is closed", tag=request.tag
-            )
+            reason = "server is draining" if self._draining and not self._closed else "server is closed"
+            return QueryResponse(status=STATUS_REJECTED, error=reason, tag=request.tag)
+        if request.priority <= PRIORITY_LOW:
+            with self._gauge_lock:
+                under_pressure = self._pending >= self.shed_threshold
+                if under_pressure:
+                    self.shed += 1
+            if under_pressure:
+                return QueryResponse(
+                    status=STATUS_SHED,
+                    error=(
+                        f"low-priority request shed under load "
+                        f"({self.shed_threshold}+ requests in flight)"
+                    ),
+                    tag=request.tag,
+                )
         if not self._slots.acquire(blocking=False):
             with self._gauge_lock:
                 self.rejected += 1
@@ -228,6 +306,7 @@ class QueryServer:
         total = len(result.rows)
         end = None if request.limit is None else request.offset + request.limit
         rows = result.rows[request.offset : end]
+        resilience = result.resilience
         stats = ResponseStats(
             warm_pool=was_warm,
             memo_hits=sum(1 for report in result.ctp_reports if report.cache_hit),
@@ -239,6 +318,10 @@ class QueryServer:
             pool_respawns=self.pool.respawns,
             pending=pending,
             seconds=time.perf_counter() - started,
+            retries=resilience.retries if resilience is not None else 0,
+            hangs=resilience.hangs if resilience is not None else 0,
+            breaker_state=self.pool.breaker.state,
+            recycled_workers=self.pool.recycles,
         )
         with self._gauge_lock:
             self.served += 1
@@ -260,8 +343,11 @@ class QueryServer:
                 "rejected": self.rejected,
                 "expired": self.expired,
                 "errors": self.errors,
+                "shed": self.shed,
                 "pending": self._pending,
                 "max_pending": self.max_pending,
+                "shed_threshold": self.shed_threshold,
+                "draining": self._draining,
             }
         counters["pool"] = self.pool.stats()
         counters["context"] = self.context.stats_dict()

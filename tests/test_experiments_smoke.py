@@ -18,6 +18,7 @@ def test_registry_contains_every_figure_and_table():
         "table1",
         "abl01",
         "backend",
+        "chaos",
         "interning",
         "parallel",
         "process-parallel",
