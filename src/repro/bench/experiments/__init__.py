@@ -14,6 +14,7 @@ from repro.bench.experiments import (
     fig14_cdf_m3,
     micro_backend,
     micro_chaos,
+    micro_delta,
     micro_interning,
     micro_parallel,
     micro_process_parallel,
@@ -36,6 +37,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "abl01": abl01_design.run,
     "backend": micro_backend.run,
     "chaos": micro_chaos.run,
+    "delta": micro_delta.run,
     "interning": micro_interning.run,
     "parallel": micro_parallel.run,
     "process-parallel": micro_process_parallel.run,

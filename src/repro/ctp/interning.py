@@ -712,6 +712,7 @@ class SearchContext:
         "runs",
         "rejects",
         "generation_flushes",
+        "rebinds",
         "_graph",
         "_graph_generation",
         "_adopt_lock",
@@ -738,6 +739,7 @@ class SearchContext:
         self.runs = 0
         self.rejects = 0
         self.generation_flushes = 0
+        self.rebinds = 0
         self._graph: Optional[object] = None  # strong ref: pins id() validity
         self._graph_generation: Optional[int] = None
         self._adopt_lock = threading.Lock() if thread_safe else None
@@ -767,8 +769,24 @@ class SearchContext:
             self._graph = graph
             self._graph_generation = getattr(graph, "generation", 0)
         elif self._graph is not graph:
-            self.rejects += 1
-            return None
+            # MVCC views: a server pins one immutable read view per request
+            # (base CSR or delta overlay), so the resolved graph object
+            # changes per generation while the underlying graph — and the
+            # edge-id space the interned sets reference — stays the same.
+            # Views of the bound graph's lineage (shared ``view_source``,
+            # or the source itself) REBIND instead of refusing: edge ids
+            # are never reused across generations, so the interned sets
+            # stay valid, and both result caches carry graph identity
+            # and/or generation fingerprints in their keys, so no flush is
+            # needed — entries for other generations simply stop hitting.
+            mine = getattr(self._graph, "view_source", None) or self._graph
+            theirs = getattr(graph, "view_source", None) or graph
+            if mine is not theirs:
+                self.rejects += 1
+                return None
+            self._graph = graph
+            self._graph_generation = getattr(graph, "generation", 0)
+            self.rebinds += 1
         else:
             generation = getattr(graph, "generation", 0)
             if generation != self._graph_generation:
@@ -840,6 +858,7 @@ class SearchContext:
             "runs": self.runs,
             "rejects": self.rejects,
             "generation_flushes": self.generation_flushes,
+            "rebinds": self.rebinds,
             "pool_sets": len(pool),
             "pool_union_hits": pool.union_hits,
             "pool_union_misses": pool.union_misses,

@@ -105,6 +105,31 @@ class WorkerHangError(PoolError):
     """
 
 
+class StaleViewError(PoolError):
+    """Raised when a pinned graph view predates the pool's base snapshot.
+
+    MVCC generations (:mod:`repro.graph.delta`): a dispatch over an
+    :class:`~repro.graph.delta.OverlayGraph` ships only the view's delta
+    to the pooled workers, which apply it on top of their mmap-loaded
+    base.  If the source graph compacted past the view's base generation
+    the workers no longer hold that base, so the pooled path cannot serve
+    the view consistently — the dispatch layer degrades to thread/serial
+    (which read the pinned view directly) instead of charging the breaker
+    for what is merely an outdated reader.
+    """
+
+
+class PoolThrashWarning(RuntimeWarning):
+    """Warned when a :class:`~repro.query.pool.WorkerPool` resnapshot-thrashes.
+
+    A full re-snapshot + worker respawn on (nearly) every dispatch means
+    the workload mutates faster than the pool amortizes — the exact
+    failure mode delta overlays exist to avoid.  The pool counts these
+    episodes (``resnapshot_thrash``) and warns once per episode so a
+    misconfigured compaction threshold is loud instead of silently slow.
+    """
+
+
 class FaultInjected(ReproError):
     """Raised by :mod:`repro.faults` machinery inside a fault-injected run.
 

@@ -9,6 +9,7 @@ adjacency is indexed bidirectionally.
 from repro.graph.graph import Edge, Graph, Node
 from repro.graph.backend import CSRGraph, GraphBackend, backend_name, freeze, resolve_backend
 from repro.graph.builder import GraphBuilder, graph_from_triples
+from repro.graph.delta import GraphDelta, OverlayGraph
 from repro.graph.io import load_graph_json, load_graph_tsv, save_graph_json, save_graph_tsv
 from repro.graph.snapshot import ensure_snapshot, load_snapshot, save_snapshot
 from repro.graph.stats import GraphStats, connected_components, graph_stats
@@ -26,8 +27,10 @@ __all__ = [
     "Graph",
     "GraphBackend",
     "GraphBuilder",
+    "GraphDelta",
     "GraphStats",
     "Node",
+    "OverlayGraph",
     "backend_name",
     "ball",
     "freeze",

@@ -13,6 +13,7 @@ dedicated set because they are so frequently filtered on.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import GraphError
@@ -46,7 +47,16 @@ class Node:
 
 
 class Edge:
-    """A directed graph edge with label, weight and arbitrary properties."""
+    """A directed graph edge with label, weight and arbitrary properties.
+
+    Instances are **immutable**: assigning any attribute raises
+    :class:`~repro.errors.GraphError`.  Frozen CSR snapshots and delta
+    overlays *share* ``Edge`` objects with the source graph, so an
+    in-place ``edge.weight = ...`` would leak future state into every
+    pinned view and bypass the generation counter every cache keys on.
+    Mutate through :meth:`Graph.set_edge_weight`, which installs a fresh
+    ``Edge`` (copy-on-write) and bumps the generation.
+    """
 
     __slots__ = ("id", "source", "target", "label", "weight", "props")
 
@@ -59,12 +69,38 @@ class Edge:
         weight: float = 1.0,
         props: Optional[Dict[str, Any]] = None,
     ):
-        self.id = edge_id
-        self.source = source
-        self.target = target
-        self.label = label
-        self.weight = weight
-        self.props: Dict[str, Any] = props or {}
+        # object.__setattr__: the public __setattr__ below always raises.
+        object.__setattr__(self, "id", edge_id)
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "weight", weight)
+        object.__setattr__(self, "props", props or {})
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise GraphError(
+            f"Edge objects are immutable (cannot set {name!r}); frozen views "
+            "share them — use Graph.set_edge_weight() so the mutation "
+            "generation is bumped and caches/snapshots invalidate"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise GraphError(f"Edge objects are immutable (cannot delete {name!r})")
+
+    # Default slot pickling restores via setattr and would trip the guard.
+    def __getstate__(self) -> Tuple[Any, ...]:
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:
+        for slot, value in zip(self.__slots__, state):
+            object.__setattr__(self, slot, value)
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (_rebuild_edge, self.__getstate__())
+
+    def replace_weight(self, weight: float) -> "Edge":
+        """A copy of this edge with ``weight`` swapped (props shared)."""
+        return Edge(self.id, self.source, self.target, self.label, weight, self.props)
 
     def property(self, name: str) -> Any:
         if name == "label":
@@ -83,6 +119,13 @@ class Edge:
 
     def __repr__(self) -> str:
         return f"Edge({self.id}, {self.source}-[{self.label}]->{self.target})"
+
+
+def _rebuild_edge(
+    edge_id: int, source: int, target: int, label: str, weight: float, props: Dict[str, Any]
+) -> Edge:
+    """Unpickling constructor for (immutable) :class:`Edge` objects."""
+    return Edge(edge_id, source, target, label, weight, props)
 
 
 class Graph:
@@ -117,35 +160,53 @@ class Graph:
         self._edges_by_label: Dict[str, List[int]] = {}
         self._frozen_snapshot = None  # memoized CSR view (see freeze())
         self._generation = 0  # monotonic mutation counter (see generation)
+        # Mutators and view/snapshot builders synchronize on this lock so a
+        # server thread can ingest while request threads pin read views.
+        self._lock = threading.RLock()
+        self._init_mvcc_state()
+
+    def _init_mvcc_state(self) -> None:
+        """(Re)initialize base-snapshot / delta-overlay bookkeeping."""
+        self._base = None  # frozen CSR base the delta overlay builds on
+        self._base_generation: Optional[int] = None
+        self._base_num_nodes = 0
+        self._base_num_edges = 0
+        # Base-range edges rewritten since the base froze: edge_id -> weight.
+        self._weight_overrides: Dict[int, float] = {}
+        self._delta_cache: Optional[Tuple[int, Any]] = None  # (generation, GraphDelta)
+        self._view_cache: Optional[Tuple[int, Any]] = None  # (generation, view)
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_node(self, label: str = "", types: Iterable[str] = (), **props: Any) -> int:
         """Add a node and return its id (ids are dense, starting at 0)."""
-        self._generation += 1
-        node_id = len(self._nodes)
-        node = Node(node_id, label, types, props or None)
-        self._nodes.append(node)
-        self._adjacency.append([])
-        self._nodes_by_label.setdefault(label, []).append(node_id)
-        for type_name in node.types:
-            self._nodes_by_type.setdefault(type_name, []).append(node_id)
-        return node_id
+        with self._lock:
+            self._generation += 1
+            node_id = len(self._nodes)
+            node = Node(node_id, label, types, props or None)
+            self._nodes.append(node)
+            self._adjacency.append([])
+            self._nodes_by_label.setdefault(label, []).append(node_id)
+            for type_name in node.types:
+                self._nodes_by_type.setdefault(type_name, []).append(node_id)
+            return node_id
 
     def add_edge(self, source: int, target: int, label: str = "", weight: float = 1.0, **props: Any) -> int:
         """Add a directed edge ``source -> target`` and return its id."""
-        self._check_node(source)
-        self._check_node(target)
-        self._generation += 1
-        edge_id = len(self._edges)
-        edge = Edge(edge_id, source, target, label, weight, props or None)
-        self._edges.append(edge)
-        self._adjacency[source].append((edge_id, target, True))
-        if target != source:
-            self._adjacency[target].append((edge_id, source, False))
-        self._edges_by_label.setdefault(label, []).append(edge_id)
-        return edge_id
+        with self._lock:
+            self._check_node(source)
+            self._check_node(target)
+            self._generation += 1
+            edge_id = len(self._edges)
+            edge = Edge(edge_id, source, target, label, weight, props or None)
+            self._edges.append(edge)
+            self._adjacency[source].append((edge_id, target, True))
+            if target != source:
+                self._adjacency[target].append((edge_id, source, False))
+            self._edges_by_label.setdefault(label, []).append(edge_id)
+            return edge_id
 
     def _check_node(self, node_id: int) -> None:
         if not 0 <= node_id < len(self._nodes):
@@ -157,14 +218,19 @@ class Graph:
         The one *same-size* mutation the model supports: the graph keeps
         its node/edge counts but its search results may change, so the
         mutation generation is bumped — a memoized :meth:`freeze` snapshot
-        and every generation-keyed cache entry are invalidated.  (Writing
-        ``edge.weight`` directly bypasses that bookkeeping and will serve
-        stale frozen/cached state; always mutate through this method.)
+        and every generation-keyed cache entry are invalidated.  The
+        mutation is copy-on-write: :class:`Edge` objects are immutable
+        (direct ``edge.weight = ...`` raises), so pinned frozen views keep
+        the edge they froze with and only this graph — and views pinned
+        *after* the call — see the new weight.
         """
-        if not 0 <= edge_id < len(self._edges):
-            raise GraphError(f"unknown edge id {edge_id}")
-        self._generation += 1
-        self._edges[edge_id].weight = weight
+        with self._lock:
+            if not 0 <= edge_id < len(self._edges):
+                raise GraphError(f"unknown edge id {edge_id}")
+            self._generation += 1
+            self._edges[edge_id] = self._edges[edge_id].replace_weight(weight)
+            if self._base is not None and edge_id < self._base_num_edges:
+                self._weight_overrides[edge_id] = weight
 
     # ------------------------------------------------------------------
     # access
@@ -318,23 +384,153 @@ class Graph:
         frozen view is read-only; keep mutating *this* graph and
         re-freeze.
 
-        Mutating a ``weight``/``label`` *in place* on an existing
-        :class:`Edge` object bypasses the generation counter and is not
-        reflected by a memoized snapshot; use :meth:`set_edge_weight` (or
-        pass ``force=True``) after such a mutation.
+        :class:`Edge` objects are immutable, so every weight change flows
+        through :meth:`set_edge_weight` and the generation memo is always
+        sound; ``force=True`` remains available to rebuild unconditionally.
         """
         from repro.graph.backend import CSRGraph
 
-        snapshot = self._frozen_snapshot
-        if (
-            not force
-            and snapshot is not None
-            and snapshot.source_generation == self._generation
-        ):
+        with self._lock:
+            snapshot = self._frozen_snapshot
+            if (
+                not force
+                and snapshot is not None
+                and snapshot.source_generation == self._generation
+            ):
+                return snapshot
+            snapshot = CSRGraph(self)
+            # MVCC stamps: which graph lineage this view belongs to and the
+            # source generation it can serve as a delta base for.  Plain
+            # instance attributes — CSRGraph's explicit __getstate__ keeps
+            # them out of pickles/snapshots (a worker-side copy has no live
+            # source; the snapshot file carries the generation in its meta).
+            snapshot.view_source = self
+            snapshot.base_generation = self._generation
+            self._frozen_snapshot = snapshot
             return snapshot
-        snapshot = CSRGraph(self)
-        self._frozen_snapshot = snapshot
-        return snapshot
+
+    # ------------------------------------------------------------------
+    # MVCC generations: base snapshot ∪ delta overlay (see repro.graph.delta)
+    # ------------------------------------------------------------------
+    @property
+    def base_generation(self) -> Optional[int]:
+        """Generation of the current base snapshot (``None`` before one exists)."""
+        return self._base_generation
+
+    @property
+    def delta_size(self) -> int:
+        """Mutations accumulated since the base froze (0 without a base)."""
+        if self._base is None:
+            return 0
+        return (
+            (len(self._nodes) - self._base_num_nodes)
+            + (len(self._edges) - self._base_num_edges)
+            + len(self._weight_overrides)
+        )
+
+    @property
+    def compactions(self) -> int:
+        """How many times :meth:`compact` refroze base ∪ delta."""
+        return self._compactions
+
+    def _set_base_locked(self, snapshot: Any) -> None:
+        self._base = snapshot
+        self._base_generation = self._generation
+        self._base_num_nodes = len(self._nodes)
+        self._base_num_edges = len(self._edges)
+        self._weight_overrides = {}
+        self._delta_cache = None
+        self._view_cache = None
+
+    def ensure_base(self) -> Any:
+        """The frozen CSR base snapshot, created on first use.
+
+        Unlike :meth:`freeze`, an existing base is *kept* when the graph
+        mutates — later mutations accumulate in the delta
+        (:meth:`delta_since_base`) until :meth:`compact` folds them in.
+        """
+        with self._lock:
+            if self._base is None:
+                self._set_base_locked(self.freeze())
+            return self._base
+
+    def compact(self) -> Any:
+        """Refreeze base ∪ delta into a new base snapshot generation.
+
+        Called at dispatch boundaries (e.g. by the worker pool when the
+        delta crosses its compaction threshold).  A no-op when the delta
+        is empty.  Compaction changes *representation*, never content, so
+        the mutation generation is untouched: a view pinned at generation
+        G before the compaction and a fresh one pinned after it are
+        interchangeable, and generation-keyed cache entries stay valid.
+        """
+        with self._lock:
+            self.ensure_base()
+            if self._generation != self._base_generation:
+                self._set_base_locked(self.freeze())
+                self._compactions += 1
+            return self._base
+
+    def delta_since_base(self) -> Any:
+        """The (picklable) :class:`~repro.graph.delta.GraphDelta` since the base.
+
+        Memoized per generation — repeated dispatches at one generation
+        ship the same delta object.
+        """
+        from repro.graph.delta import GraphDelta
+
+        with self._lock:
+            self.ensure_base()
+            cached = self._delta_cache
+            if cached is not None and cached[0] == self._generation:
+                return cached[1]
+            delta = GraphDelta.capture(self)
+            self._delta_cache = (self._generation, delta)
+            return delta
+
+    def read_view(self) -> Any:
+        """A consistent frozen view of the graph *as of now* (MVCC snapshot).
+
+        The base CSR itself when nothing mutated since the base froze,
+        otherwise an :class:`~repro.graph.delta.OverlayGraph` merging the
+        base with the current delta.  Views are immutable and memoized per
+        generation: a request that pins one keeps a torn-read-free picture
+        of the graph no matter how many mutations land while it evaluates.
+        """
+        with self._lock:
+            base = self.ensure_base()
+            cached = self._view_cache
+            if cached is not None and cached[0] == self._generation:
+                return cached[1]
+            if self._generation == self._base_generation:
+                view = base
+            else:
+                from repro.graph.delta import OverlayGraph
+
+                view = OverlayGraph(base, self.delta_since_base(), view_source=self)
+            self._view_cache = (self._generation, view)
+            return view
+
+    # ------------------------------------------------------------------
+    # pickling (the lock is not picklable; caches/views are process-local)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "_nodes": self._nodes,
+            "_edges": self._edges,
+            "_adjacency": self._adjacency,
+            "_nodes_by_label": self._nodes_by_label,
+            "_nodes_by_type": self._nodes_by_type,
+            "_edges_by_label": self._edges_by_label,
+            "_generation": self._generation,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._frozen_snapshot = None
+        self._lock = threading.RLock()
+        self._init_mvcc_state()
 
     # ------------------------------------------------------------------
     # display helpers

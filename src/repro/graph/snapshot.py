@@ -86,6 +86,11 @@ def _align8(n: int) -> int:
 def _freeze(graph: Any) -> CSRGraph:
     if isinstance(graph, CSRGraph):
         return graph
+    from repro.graph.delta import OverlayGraph  # local: delta imports graph
+
+    if isinstance(graph, OverlayGraph):
+        # An overlay's freeze() is itself; serialization needs one flat CSR.
+        return graph.materialize()
     freezer = getattr(graph, "freeze", None)
     if freezer is None:
         raise GraphError(f"cannot snapshot {type(graph).__name__!r}: not a Graph/CSRGraph")
@@ -112,6 +117,10 @@ def save_snapshot(graph: Any, path: PathLike) -> Path:
         "nodes_by_label": dict(csr._nodes_by_label),
         "nodes_by_type": dict(csr._nodes_by_type),
         "edges_by_label": {label: ids.tolist() for label, ids in csr._edges_by_label.items()},
+        # MVCC: the source generation this snapshot can serve as a delta
+        # base for (None when the CSR has no live lineage, e.g. round-
+        # tripped through pickle).  Older files simply lack the key.
+        "source_generation": getattr(csr, "base_generation", csr.source_generation),
     }
     meta_blob = pickle.dumps(meta, protocol=4)
 
@@ -316,7 +325,7 @@ def load_snapshot(path: PathLike, use_mmap: bool = True, verify_payload: bool = 
         Edge(edge_id, sources[edge_id], targets[edge_id], label, weights[edge_id], props)
         for edge_id, (label, props) in enumerate(meta["edges"])
     ]
-    return CSRGraph._from_columns(
+    csr = CSRGraph._from_columns(
         name=meta["name"],
         nodes=nodes,
         edges=edges,
@@ -328,6 +337,11 @@ def load_snapshot(path: PathLike, use_mmap: bool = True, verify_payload: bool = 
         mmap_obj=mmap_obj,
         snapshot_path=os.path.abspath(path),
     )
+    # MVCC: a loaded snapshot can serve as the base of a delta overlay when
+    # the writer recorded its source generation.  source_generation stays
+    # None (the freeze-memo key — a loaded CSR has no live source graph).
+    csr.base_generation = meta.get("source_generation")
+    return csr
 
 
 # ----------------------------------------------------------------------

@@ -124,6 +124,9 @@ class QueryResult:
     #: hang kills, breaker state, degradation) — ``None`` when the query
     #: ran without a :class:`~repro.query.pool.WorkerPool`.
     resilience: Optional[ResilienceReport] = None
+    #: MVCC generation of the graph (view) the query evaluated against.
+    #: Rows are reproducible against a full freeze of that generation.
+    generation: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -544,4 +547,5 @@ def evaluate_query(
         ctp_reports=reports,
         context_stats=context_stats,
         resilience=resilience,
+        generation=getattr(graph, "generation", 0),
     )

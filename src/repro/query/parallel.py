@@ -74,7 +74,7 @@ from repro.ctp.interning import SearchContext
 from repro.ctp.registry import get_algorithm
 from repro.ctp.results import CTPResultSet
 from repro.ctp.stats import SearchStats
-from repro.errors import PoolClosedError, ReproError, WorkerHangError
+from repro.errors import PoolClosedError, ReproError, StaleViewError, WorkerHangError
 from repro.graph.backend import resolve_backend
 from repro.graph.graph import Graph
 from repro.graph.snapshot import ensure_snapshot
@@ -393,6 +393,14 @@ def _stamp_mode(outcomes: List[Optional[CTPOutcome]], mode: str) -> List[CTPOutc
 #: module globals — each worker interpreter has its own copy.
 _worker_graph: Any = None
 _worker_context: Optional[SearchContext] = None
+#: Delta-overlay state: the overlay assembled for the most recent delta
+#: generation dispatched to this worker, keyed by (base_generation,
+#: generation), plus the overlay-scoped context its jobs evaluate in.  One
+#: overlay is kept — serving flights at one generation reuse it; a new
+#: generation replaces it.
+_worker_overlay: Any = None
+_worker_overlay_key: Optional[Tuple[int, int]] = None
+_worker_overlay_context: Optional[SearchContext] = None
 
 
 def _process_worker_init(
@@ -415,6 +423,7 @@ def _process_worker_init(
     default to inert values; production dispatch always ships ``None``.
     """
     global _worker_graph, _worker_context
+    global _worker_overlay, _worker_overlay_key, _worker_overlay_context
     from repro import faults
     from repro.graph.snapshot import load_snapshot
 
@@ -422,19 +431,52 @@ def _process_worker_init(
         faults.install_plan(fault_plan, epoch=epoch)
     _worker_graph = load_snapshot(snapshot_path)
     _worker_context = SearchContext(interning=interning)
+    _worker_overlay = None
+    _worker_overlay_key = None
+    _worker_overlay_context = None
+
+
+def _worker_state_for(delta: Any) -> Tuple[Any, Optional[SearchContext]]:
+    """The (graph, context) a worker job evaluates against.
+
+    ``delta=None`` is the base-only fast path: the mmap-loaded snapshot
+    and the long-lived worker context.  A :class:`~repro.graph.delta.GraphDelta`
+    selects (building on first sight) the overlay for its generation — the
+    base stays loaded, the delta is applied on top, and the overlay gets
+    its own context so generation-scoped cache state never mixes with the
+    base's.  Consistency is structural: the overlay validates the delta's
+    base generation against the snapshot's recorded one.
+    """
+    global _worker_overlay, _worker_overlay_key, _worker_overlay_context
+    if delta is None:
+        return _worker_graph, _worker_context
+    key = (delta.base_generation, delta.generation)
+    if _worker_overlay_key != key:
+        from repro.graph.delta import OverlayGraph
+
+        _worker_overlay = OverlayGraph(_worker_graph, delta)
+        _worker_overlay_context = SearchContext(
+            interning=_worker_context.interning if _worker_context is not None else True
+        )
+        _worker_overlay_key = key
+    return _worker_overlay, _worker_overlay_context
 
 
 def _process_worker_run(
-    algorithm: str, seed_sets: List[Any], config: SearchConfig
+    algorithm: str, seed_sets: List[Any], config: SearchConfig, delta: Any = None
 ) -> Tuple[CTPResultSet, float]:
-    """Evaluate one CTP inside a worker against the worker's graph/context."""
+    """Evaluate one CTP inside a worker against the worker's graph/context.
+
+    ``delta`` (shipped per job by the pooled dispatcher) overlays the
+    worker's mmap-loaded base snapshot so the evaluation sees the exact
+    generation the parent pinned — without re-serializing the graph.
+    """
     from repro import faults
 
     faults.inject(faults.SITE_WORKER_RUN)
+    graph, context = _worker_state_for(delta)
     started = time.perf_counter()
-    result_set = get_algorithm(algorithm).run(
-        _worker_graph, seed_sets, config, context=_worker_context
-    )
+    result_set = get_algorithm(algorithm).run(graph, seed_sets, config, context=context)
     return result_set, time.perf_counter() - started
 
 
@@ -461,16 +503,17 @@ def _process_pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
-def _jobs_picklable(algorithm: str, jobs: Sequence[CTPJob]) -> bool:
-    """Pre-flight: can every job cross a process boundary?
+def _jobs_picklable(algorithm: str, jobs: Sequence[CTPJob], delta: Any = None) -> bool:
+    """Pre-flight: can every job (and its delta, if any) cross a process boundary?
 
     A ``SearchConfig`` carrying a lambda/closure score function (or seed
-    values pickle refuses) cannot be shipped to a worker; detecting that
-    up front lets dispatch degrade gracefully instead of raising from
-    deep inside the executor machinery.
+    values pickle refuses) cannot be shipped to a worker — nor can a delta
+    whose appended nodes/edges carry unpicklable properties; detecting
+    that up front lets dispatch degrade gracefully instead of raising
+    from deep inside the executor machinery.
     """
     try:
-        pickle.dumps((algorithm, [(job.seed_sets, job.config) for job in jobs]))
+        pickle.dumps((algorithm, delta, [(job.seed_sets, job.config) for job in jobs]))
         return True
     except (pickle.PicklingError, TypeError, AttributeError):
         return False
@@ -642,19 +685,25 @@ def _run_process_pooled(
     policy = pool.retry_policy
     breaker = pool.breaker
     try:
-        pool.prepare()
+        delta = pool.prepare_for(graph)
+    except StaleViewError:
+        # Not a pool failure — the pinned view outlived the workers' base
+        # (a compaction moved past it), so serve it in-process instead of
+        # charging the breaker for an outdated reader.
+        _note_pool_state(report, pool)
+        return degrade()
     except (ReproError, OSError, pickle.PicklingError, TypeError, AttributeError):
         breaker.record_failure()
         _note_pool_state(report, pool)
         return degrade()
-    if not _jobs_picklable(algorithm, jobs):
+    if not _jobs_picklable(algorithm, jobs, delta):
         # Not a pool failure — the workload itself cannot cross a process
         # boundary, so the breaker is not charged for it.
         _note_pool_state(report, pool)
         return degrade()
 
     def submit_one(p: "WorkerPool", job: CTPJob) -> Any:
-        return p.submit(algorithm, job.seed_sets, job.config)
+        return p.submit(algorithm, job.seed_sets, job.config, delta=delta)
 
     watchdog = _watchdog_budget(jobs, pool)
     budget = min(

@@ -23,10 +23,16 @@ the lifetime of the pool.
   triggers :meth:`respawn` (tear down, rebuild, counted in
   :attr:`respawns`) so a crashed worker costs one retry, not permanent
   thread-fallback degradation.
-* **Snapshot generations** — the pool records the source graph's
-  :attr:`~repro.graph.graph.Graph.generation` when it snapshots; a
-  mutated graph re-snapshots and respawns on the next dispatch instead of
-  serving stale topology from the old file.
+* **Snapshot generations (MVCC)** — the pool snapshots the source graph's
+  *base* (:meth:`~repro.graph.graph.Graph.ensure_base`); mutations ship as
+  cheap picklable :class:`~repro.graph.delta.GraphDelta` objects applied
+  by the workers over their mmap-loaded base, so a mutated graph costs a
+  per-dispatch delta instead of a re-serialize + respawn.  Only when the
+  delta crosses :attr:`~WorkerPool.compaction_threshold` does a dispatch
+  boundary compact base ∪ delta into a new snapshot generation (counted
+  in :attr:`~WorkerPool.resnapshots`, avoided dispatches in
+  :attr:`~WorkerPool.resnapshots_avoided`); resnapshot thrash warns
+  (:class:`~repro.errors.PoolThrashWarning`).
 * **Explicit lifecycle** — :meth:`close` (or the context-manager form)
   shuts the executor down and eagerly releases the pool's auto-snapshot
   temp file (:func:`repro.graph.snapshot.release_auto_snapshot`) instead
@@ -42,13 +48,22 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Dict, List, Optional
 
 from repro.ctp.config import SearchConfig
-from repro.errors import PoolClosedError, PoolError
+from repro.errors import PoolClosedError, PoolError, PoolThrashWarning, StaleViewError
+from repro.graph.delta import GraphDelta, OverlayGraph
 from repro.graph.snapshot import ensure_snapshot, release_auto_snapshot
 from repro.query.resilience import CircuitBreaker, PoolResilienceConfig, RetryPolicy
+
+#: Sentinel for :meth:`WorkerPool.submit`'s ``delta`` parameter: "resolve
+#: the current delta for me".  The dispatch layer resolves once per fan-out
+#: via :meth:`WorkerPool.prepare_for` and passes the result explicitly;
+#: direct callers get per-submit resolution so they can never read stale
+#: topology from the workers' base snapshot.
+_UNRESOLVED: Any = object()
 
 
 def _worker_rss_mb(pid: int) -> Optional[float]:
@@ -119,12 +134,26 @@ class WorkerPool:
         resilience: Optional[PoolResilienceConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        compaction_threshold: Optional[int] = 256,
+        thrash_window: int = 3,
     ):
         if workers is not None and workers < 1:
             raise PoolError(f"WorkerPool needs workers >= 1, got {workers}")
+        if compaction_threshold is not None and compaction_threshold < 0:
+            raise PoolError(
+                f"WorkerPool needs compaction_threshold >= 0 or None, got {compaction_threshold}"
+            )
         self.graph = graph
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.interning = interning
+        #: Delta size at which a dispatch boundary compacts base ∪ delta into
+        #: a new snapshot generation (full re-snapshot + respawn).  ``None``
+        #: never compacts; ``0`` compacts on any mutation — the legacy
+        #: resnapshot-per-mutation behaviour, kept for A/B benching.
+        self.compaction_threshold = compaction_threshold
+        #: Thrash detector: a resnapshot landing within this many dispatches
+        #: of the previous one counts as thrash and warns.
+        self.thrash_window = thrash_window
         #: Lifecycle knobs (recycling thresholds, hang watchdog budgets).
         self.resilience = resilience if resilience is not None else PoolResilienceConfig()
         #: Retry discipline the dispatch layer applies to pooled fan-outs.
@@ -139,7 +168,7 @@ class WorkerPool:
         self._closed = False
         #: Number of executor rebuilds after a BrokenProcessPool.
         self.respawns = 0
-        #: Number of snapshot regenerations forced by a graph mutation.
+        #: Number of snapshot regenerations forced by a base-generation move.
         self.resnapshots = 0
         #: Jobs submitted over the pool's lifetime (all executor epochs).
         self.dispatches = 0
@@ -149,11 +178,21 @@ class WorkerPool:
         self.hangs = 0
         #: Proactive worker recycles (request-count or RSS threshold).
         self.recycles = 0
+        #: Compactions this pool triggered at dispatch boundaries.
+        self.compactions = 0
+        #: Mutated-graph dispatches served by shipping a delta instead of
+        #: paying a full re-snapshot + respawn (one per delta generation).
+        self.resnapshots_avoided = 0
+        #: Thrash episodes: resnapshots within ``thrash_window`` dispatches
+        #: of the previous one (each also warns :class:`PoolThrashWarning`).
+        self.resnapshot_thrash = 0
         # Work served by the CURRENT executor epoch — warmth is per epoch
         # (a respawned-but-idle executor is cold again), while the public
         # counters above are lifetime totals.
         self._epoch_work = 0
         self._rss_countdown = self.resilience.rss_check_every
+        self._dispatches_at_last_resnapshot: Optional[int] = None
+        self._last_delta_generation: Optional[int] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -213,31 +252,134 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # executor management
     # ------------------------------------------------------------------
+    def _note_resnapshot_locked(self) -> None:
+        """Thrash detection, called whenever a resnapshot is charged."""
+        last = self._dispatches_at_last_resnapshot
+        if last is not None and self.dispatches - last <= self.thrash_window:
+            self.resnapshot_thrash += 1
+            warnings.warn(
+                f"WorkerPool resnapshot thrash: full re-snapshot + worker respawn "
+                f"after only {self.dispatches - last} dispatch(es) — the workload "
+                f"mutates faster than the pool amortizes (compaction_threshold="
+                f"{self.compaction_threshold}); raise the threshold so mutations "
+                f"ride the delta overlay instead",
+                PoolThrashWarning,
+                stacklevel=4,
+            )
+        self._dispatches_at_last_resnapshot = self.dispatches
+
+    def _snapshot_locked(self) -> None:
+        """Align the pool's snapshot file with the graph's current *base*.
+
+        MVCC graphs (anything with :meth:`~repro.graph.graph.Graph.ensure_base`)
+        are snapshotted at their base generation — later mutations ship as
+        deltas (:meth:`prepare_for`), so only a *base* move (compaction)
+        releases the old file, charges ``resnapshots``, and respawns the
+        workers.  Legacy sources (a bare CSR bound directly) snapshot at
+        their own generation, preserving the old resnapshot-per-mutation
+        contract.
+        """
+        graph = self.graph
+        if hasattr(graph, "ensure_base"):
+            base = graph.ensure_base()
+            generation = graph.base_generation
+        else:
+            base = graph
+            generation = getattr(graph, "generation", 0)
+        if self._snapshot_path is not None and generation == self._snapshot_generation:
+            return
+        if self._snapshot_generation is not None:
+            release_auto_snapshot(self._snapshot_path)
+            self._snapshot_path = None
+            self.resnapshots += 1
+            self._note_resnapshot_locked()
+        # Workers hold the old base mmap-loaded: they must respawn over the
+        # fresh file.  ensure_snapshot may raise (unpicklable metadata,
+        # I/O): the caller decides how to degrade; the pool stays
+        # constructible/closable.
+        self._shutdown_locked()
+        self._csr, self._snapshot_path = ensure_snapshot(base)
+        self._snapshot_generation = generation
+
+    def _resolve_delta_locked(self, graph: Any) -> Optional[GraphDelta]:
+        """Snapshot/compact as needed and return the delta ``graph`` requires.
+
+        ``graph`` is whatever the dispatch holds after backend resolution:
+        the pool's mutable source graph (serve its *current* delta), a
+        pinned :class:`~repro.graph.delta.OverlayGraph` view (serve its
+        own delta so the evaluation stays at the pinned generation), a
+        pinned base CSR view (no delta), or a legacy CSR (no delta).
+        Raises :class:`~repro.errors.StaleViewError` when a pinned view
+        predates the workers' base — the pooled path cannot reconstruct
+        that generation, and the dispatch layer degrades to thread/serial.
+        """
+        source = self.graph if graph is self.graph else getattr(graph, "view_source", None)
+        if source is None or not hasattr(source, "ensure_base"):
+            self._snapshot_locked()
+            return None
+        # Compaction check at the dispatch boundary — only when dispatching
+        # the head generation (compacting under an older pinned view would
+        # not help it anyway).
+        if (
+            self.compaction_threshold is not None
+            and getattr(graph, "generation", None) == source.generation
+            and source.delta_size > self.compaction_threshold
+        ):
+            source.compact()
+            self.compactions += 1
+        self._snapshot_locked()
+        pool_generation = self._snapshot_generation
+        if graph is source:
+            if source.generation == pool_generation:
+                return None
+            delta = source.delta_since_base()
+        elif isinstance(graph, OverlayGraph):
+            delta = graph.delta
+            if delta.generation == pool_generation:
+                # Compaction landed exactly at this view's generation: the
+                # workers' fresh base equals the view's contents.
+                return None
+            if delta.base_generation != pool_generation:
+                raise StaleViewError(
+                    f"pinned view at generation {delta.generation} builds on base "
+                    f"{delta.base_generation}, but the pool's workers hold base "
+                    f"{pool_generation}"
+                )
+        else:
+            # A pinned frozen base view: servable iff it IS the current base.
+            view_generation = getattr(graph, "base_generation", None)
+            if view_generation is None:
+                view_generation = getattr(graph, "generation", 0)
+            if view_generation == pool_generation:
+                return None
+            raise StaleViewError(
+                f"pinned base view at generation {view_generation} predates the "
+                f"pool's base {pool_generation}"
+            )
+        if delta.size == 0:
+            return None
+        if delta.generation != self._last_delta_generation:
+            self._last_delta_generation = delta.generation
+            self.resnapshots_avoided += 1
+        return delta
+
     def _ensure_locked(self) -> ProcessPoolExecutor:
         """The live executor, (re)built as needed.  Caller holds the lock.
 
-        Rebuild triggers: no executor yet (first use, or after a respawn
-        tore it down), or the source graph's mutation generation moved
-        past the snapshot's — the old file is stale *topology*, so it is
-        released and the workers respawn over a fresh snapshot.
+        Snapshot freshness is owned by :meth:`_snapshot_locked` (run from
+        every :meth:`prepare_for`/:meth:`submit` resolution); this method
+        only (re)builds the executor over the current snapshot file —
+        first use, or after a respawn/recycle/base-move tore it down.
         """
         from repro import faults
         from repro.query.parallel import _process_pool_context, _process_worker_init
 
         if self._closed:
             raise PoolClosedError("WorkerPool is closed")
-        generation = getattr(self.graph, "generation", 0)
-        if self._executor is not None and generation == self._snapshot_generation:
+        if self._snapshot_path is None:
+            self._snapshot_locked()
+        if self._executor is not None:
             return self._executor
-        self._shutdown_locked()
-        if self._snapshot_generation is not None and generation != self._snapshot_generation:
-            release_auto_snapshot(self._snapshot_path)
-            self._snapshot_path = None
-            self.resnapshots += 1
-        # ensure_snapshot may raise (unpicklable metadata, I/O): the caller
-        # decides how to degrade; the pool stays constructible/closable.
-        self._csr, self._snapshot_path = ensure_snapshot(self.graph)
-        self._snapshot_generation = generation
         self._epoch_work = 0
         # Workers must re-apply any installed fault plan themselves (module
         # globals do not survive the forkserver/spawn boundary); the epoch
@@ -294,10 +436,27 @@ class WorkerPool:
         are evaluated here, at the dispatch boundary, so a worker set due
         for replacement is torn down *between* queries, never under one.
         Returns the frozen CSR graph the workers will map."""
+        self.prepare_for(self.graph)
+        return self._csr
+
+    def prepare_for(self, graph: Any) -> Optional[GraphDelta]:
+        """Dispatch-boundary preparation for a fan-out over ``graph``.
+
+        Runs the recycling check, compacts the source when its delta
+        crossed :attr:`compaction_threshold`, aligns the snapshot file
+        with the (possibly new) base, makes the executor live, and returns
+        the delta the fan-out must ship with each job (``None`` when the
+        workers' base alone reproduces ``graph``).  Raises
+        :class:`~repro.errors.StaleViewError` for views the workers can no
+        longer serve consistently.
+        """
         with self._lock:
+            if self._closed:
+                raise PoolClosedError("WorkerPool is closed")
             self._maybe_recycle_locked()
+            delta = self._resolve_delta_locked(graph)
             self._ensure_locked()
-            return self._csr
+            return delta
 
     def respawn(self, kill: bool = False) -> None:
         """Tear the executor down and rebuild it (crashed-worker recovery).
@@ -343,8 +502,20 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # work
     # ------------------------------------------------------------------
-    def submit(self, algorithm: str, seed_sets: List[Any], config: SearchConfig) -> Future:
+    def submit(
+        self,
+        algorithm: str,
+        seed_sets: List[Any],
+        config: SearchConfig,
+        delta: Any = _UNRESOLVED,
+    ) -> Future:
         """Submit one CTP evaluation; returns a future of ``(result_set, seconds)``.
+
+        ``delta`` is the :class:`~repro.graph.delta.GraphDelta` the worker
+        applies over its mmap-loaded base (``None`` = base only).  The
+        dispatch layer resolves it once per fan-out via :meth:`prepare_for`;
+        when omitted, the pool resolves the source graph's *current* delta
+        itself, so direct callers always see current topology.
 
         May raise ``BrokenProcessPool`` (executor already broken) or
         :class:`~repro.errors.PoolClosedError` (submitting after
@@ -355,10 +526,12 @@ class WorkerPool:
         from repro.query.parallel import _process_worker_run
 
         with self._lock:
+            if delta is _UNRESOLVED:
+                delta = self._resolve_delta_locked(self.graph)
             executor = self._ensure_locked()
             self.dispatches += 1
             self._epoch_work += 1
-        return executor.submit(_process_worker_run, algorithm, seed_sets, config)
+        return executor.submit(_process_worker_run, algorithm, seed_sets, config, delta)
 
     def ping(self, timeout: float = 5.0) -> Dict[str, Any]:
         """Round-trip a health probe through a worker.
@@ -397,12 +570,15 @@ class WorkerPool:
     def matches(self, graph: Any) -> bool:
         """Whether ``graph`` is the graph this pool serves.
 
-        True for the bound graph itself, its memoized frozen view, or the
-        CSR the pool snapshotted — the aliases a dispatch may hold after
-        backend resolution.  Anything else must not run here (workers
-        would silently search the wrong topology).
+        True for the bound graph itself, its memoized frozen view, any
+        pinned MVCC view of it (``view_source`` stamp), or the CSR the
+        pool snapshotted — the aliases a dispatch may hold after backend
+        resolution.  Anything else must not run here (workers would
+        silently search the wrong topology).
         """
         if graph is self.graph or (self._csr is not None and graph is self._csr):
+            return True
+        if getattr(graph, "view_source", None) is self.graph:
             return True
         return graph is getattr(self.graph, "_frozen_snapshot", None)
 
@@ -422,6 +598,11 @@ class WorkerPool:
             "breaker_state": self.breaker.state,
             "breaker_trips": self.breaker.trips,
             "snapshot_generation": self._snapshot_generation,
+            "compaction_threshold": self.compaction_threshold,
+            "compactions": self.compactions,
+            "resnapshots_avoided": self.resnapshots_avoided,
+            "resnapshot_thrash": self.resnapshot_thrash,
+            "delta_size": getattr(self.graph, "delta_size", 0),
         }
 
     def __repr__(self) -> str:

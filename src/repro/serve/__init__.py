@@ -21,17 +21,22 @@ from repro.serve.models import (
     STATUS_OK,
     STATUS_REJECTED,
     STATUS_SHED,
+    IngestRequest,
+    IngestResult,
     QueryRequest,
     QueryResponse,
     ResponseStats,
 )
-from repro.serve.server import QueryServer
+from repro.serve.server import DISPATCH_MODES, QueryServer
 
 __all__ = [
     "QueryServer",
     "QueryRequest",
     "QueryResponse",
     "ResponseStats",
+    "IngestRequest",
+    "IngestResult",
+    "DISPATCH_MODES",
     "PRIORITY_LOW",
     "PRIORITY_NORMAL",
     "PRIORITY_HIGH",

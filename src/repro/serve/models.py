@@ -150,6 +150,89 @@ class ResponseStats:
     #: proactively recycled (request-count or RSS threshold).
     breaker_state: str = "closed"
     recycled_workers: int = 0
+    #: MVCC view telemetry: the graph generation this response's rows are
+    #: consistent with (rows match a full freeze at this generation), the
+    #: size of the mutable delta overlay at evaluation time, and the
+    #: pool's lifetime compaction/avoided-resnapshot/thrash counters.
+    generation: Optional[int] = None
+    delta_size: int = 0
+    compactions: int = 0
+    resnapshots_avoided: int = 0
+    resnapshot_thrash: int = 0
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """One write batch: nodes and edges to append, weights to update.
+
+    Applied atomically with respect to query admission: a query pinned
+    concurrently with an ingest sees either none or all of the batch
+    (never a torn prefix), and its response records the generation it
+    saw.  Fields carry plain tuples — like :class:`QueryRequest`, ingest
+    envelopes cross thread boundaries and stay cheaply hashable/loggable.
+
+    Parameters
+    ----------
+    nodes:
+        ``(label, node_type)`` pairs to append; ids are assigned densely
+        and reported on the result in order.  ``node_type`` may be ``""``
+        for an untyped node.
+    edges:
+        ``(source, target, label, weight)`` tuples to append.  Sources /
+        targets may reference nodes added earlier *in this same batch*
+        by their future ids (existing ``num_nodes`` + batch offset).
+    weights:
+        ``(edge_id, new_weight)`` updates to existing edges — the one
+        in-place mutation the model supports.
+    tag:
+        Opaque client correlation value, echoed on the result.
+    """
+
+    nodes: Tuple[Tuple[str, str], ...] = ()
+    edges: Tuple[Tuple[int, int, str, float], ...] = ()
+    weights: Tuple[Tuple[int, float], ...] = ()
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not (self.nodes or self.edges or self.weights):
+            raise ValidationError("IngestRequest must carry at least one mutation")
+        object.__setattr__(self, "nodes", tuple(tuple(n) for n in self.nodes))
+        object.__setattr__(self, "edges", tuple(tuple(e) for e in self.edges))
+        object.__setattr__(self, "weights", tuple(tuple(w) for w in self.weights))
+        for node in self.nodes:
+            if len(node) != 2:
+                raise ValidationError(f"IngestRequest nodes must be (label, type) pairs, got {node!r}")
+        for edge in self.edges:
+            if len(edge) != 4:
+                raise ValidationError(
+                    f"IngestRequest edges must be (source, target, label, weight) tuples, got {edge!r}"
+                )
+        for update in self.weights:
+            if len(update) != 2:
+                raise ValidationError(
+                    f"IngestRequest weights must be (edge_id, weight) pairs, got {update!r}"
+                )
+
+
+@dataclass
+class IngestResult:
+    """What one ingest batch produced: new ids and the resulting generation."""
+
+    status: str
+    node_ids: Tuple[int, ...] = ()
+    edge_ids: Tuple[int, ...] = ()
+    #: Graph generation after the batch (queries pinned at or after this
+    #: generation observe the batch).
+    generation: int = 0
+    #: Delta-overlay size after the batch — how far the graph has drifted
+    #: from its frozen base (compaction resets this to 0).
+    delta_size: int = 0
+    error: Optional[str] = None
+    tag: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
 
 
 @dataclass

@@ -46,10 +46,20 @@ from repro.serve.models import (
     STATUS_OK,
     STATUS_REJECTED,
     STATUS_SHED,
+    IngestRequest,
+    IngestResult,
     QueryRequest,
     QueryResponse,
     ResponseStats,
 )
+
+#: How the server executes each request's CTPs: ``"process"`` routes
+#: through the persistent :class:`~repro.query.pool.WorkerPool` (the
+#: default, and the only mode that pays a snapshot), ``"thread"`` uses
+#: in-process thread dispatch, ``"serial"`` runs CTPs one at a time on
+#: the handling thread.  All three pin the same MVCC read view, so the
+#: consistency contract is identical.
+DISPATCH_MODES = ("process", "thread", "serial")
 
 
 class QueryServer:
@@ -88,6 +98,19 @@ class QueryServer:
         :class:`~repro.query.pool.WorkerPool` — ``resilience``
         (:class:`~repro.query.resilience.PoolResilienceConfig`: recycling
         thresholds, hang watchdog budgets), ``retry_policy``, ``breaker``.
+    dispatch_mode:
+        How CTPs execute (:data:`DISPATCH_MODES`): ``"process"`` (the
+        default — persistent worker pool, mmap snapshot), ``"thread"``
+        (in-process threads, no pool), or ``"serial"`` (one CTP at a
+        time on the handling thread).  All three pin the same MVCC read
+        view per request, so :meth:`ingest` is safe under any of them.
+    compaction_threshold:
+        Delta-overlay mutations tolerated before base ∪ delta is
+        refrozen into a fresh base snapshot (``None`` = never compact,
+        ``0`` = compact on any mutation, i.e. the legacy
+        resnapshot-per-mutation behavior).  Under process dispatch the
+        worker pool compacts at its dispatch boundary; under
+        thread/serial dispatch :meth:`ingest` compacts inline.
 
     Use as a context manager (or call :meth:`close`): the pool holds OS
     processes and a temp snapshot file, which should die with the server,
@@ -107,6 +130,8 @@ class QueryServer:
         default_deadline: Optional[float] = None,
         default_timeout: Optional[float] = None,
         pool_config: Optional[Dict[str, Any]] = None,
+        dispatch_mode: str = "process",
+        compaction_threshold: Optional[int] = 256,
     ):
         if max_pending < 1:
             raise ReproError(f"QueryServer needs max_pending >= 1, got {max_pending}")
@@ -114,33 +139,52 @@ class QueryServer:
             raise ReproError(
                 f"QueryServer needs 1 <= shed_threshold <= max_pending, got {shed_threshold}"
             )
+        if dispatch_mode not in DISPATCH_MODES:
+            raise ReproError(
+                f"QueryServer needs dispatch_mode in {DISPATCH_MODES}, got {dispatch_mode!r}"
+            )
         get_algorithm(algorithm)  # fail fast on a bad default
         self.graph = graph
         self.algorithm = algorithm
+        self.dispatch_mode = dispatch_mode
+        self.compaction_threshold = compaction_threshold
         base = base_config or SearchConfig()
-        self.base_config = base.with_(parallelism_mode="process", shared_context=True)
+        if dispatch_mode == "process":
+            self.base_config = base.with_(parallelism_mode="process", shared_context=True)
+        elif dispatch_mode == "thread":
+            self.base_config = base.with_(parallelism_mode="thread", shared_context=True)
+        else:  # serial: one CTP at a time on the handling thread
+            self.base_config = base.with_(parallelism=1, shared_context=True)
         self.default_deadline = default_deadline
         self.default_timeout = default_timeout
         self.max_pending = max_pending
         self.shed_threshold = (
             shed_threshold if shed_threshold is not None else max(1, max_pending // 2)
         )
-        self.pool = WorkerPool(
-            graph,
-            workers=workers,
-            interning=self.base_config.interning,
-            **(pool_config or {}),
-        )
+        self.pool: Optional[WorkerPool] = None
+        if dispatch_mode == "process":
+            self.pool = WorkerPool(
+                graph,
+                workers=workers,
+                interning=self.base_config.interning,
+                compaction_threshold=compaction_threshold,
+                **(pool_config or {}),
+            )
         #: Shared across requests (thread-safe): cross-request memo + pool.
         self.context = SearchContext(interning=self.base_config.interning, thread_safe=True)
         self._slots = threading.BoundedSemaphore(max_pending)
         self._gauge_lock = threading.Lock()
+        #: Serializes write batches against read-view pinning: a query
+        #: can never pin its MVCC view between two mutations of one
+        #: :meth:`ingest` batch — it sees all of the batch or none of it.
+        self._ingest_lock = threading.Lock()
         self._pending = 0
         self.served = 0
         self.rejected = 0
         self.expired = 0
         self.errors = 0
         self.shed = 0
+        self.ingests = 0
         self._closed = False
         self._draining = False
 
@@ -164,7 +208,8 @@ class QueryServer:
     def close(self) -> None:
         """Shut the worker pool down; later requests are rejected."""
         self._closed = True
-        self.pool.close()
+        if self.pool is not None:
+            self.pool.close()
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Graceful shutdown: stop admitting, finish in-flight, close.
@@ -197,8 +242,84 @@ class QueryServer:
         Returns the pool's health verdict; a server started during
         deployment can pay the cold cost off the request path.
         """
+        if self.pool is None:
+            # Thread/serial dispatch: the only cold cost is the base freeze.
+            if hasattr(self.graph, "ensure_base"):
+                self.graph.ensure_base()
+            return True
         self.pool.prepare()
         return self.pool.healthy()
+
+    # ------------------------------------------------------------------
+    # ingest (writes under live traffic)
+    # ------------------------------------------------------------------
+    def ingest(self, request: IngestRequest) -> IngestResult:
+        """Apply one write batch; always returns a result, never raises.
+
+        Thread-safe, and atomic with respect to query admission: the
+        batch is validated up front and applied under the ingest lock, so
+        a concurrent query's pinned view observes either the whole batch
+        or none of it.  Queries already running are untouched — they keep
+        reading their pinned generation (MVCC), and the next dispatch
+        ships the enlarged delta to the pool's workers without respawning
+        them.  Under thread/serial dispatch the server itself compacts
+        the overlay once it outgrows ``compaction_threshold`` (the worker
+        pool owns that decision under process dispatch, at its own
+        dispatch boundary).
+        """
+        if self._closed or self._draining:
+            reason = "server is draining" if self._draining and not self._closed else "server is closed"
+            return IngestResult(status=STATUS_REJECTED, error=reason, tag=request.tag)
+        try:
+            with self._ingest_lock:
+                # Validate the whole batch against the post-batch id space
+                # BEFORE mutating: all-or-nothing, no torn prefixes.
+                total_nodes = self.graph.num_nodes + len(request.nodes)
+                total_edges = self.graph.num_edges + len(request.edges)
+                for source, target, _label, _weight in request.edges:
+                    if not (0 <= source < total_nodes and 0 <= target < total_nodes):
+                        raise ReproError(
+                            f"ingest edge ({source}, {target}) references a node id "
+                            f"outside [0, {total_nodes}) (existing nodes + this batch)"
+                        )
+                for edge_id, _weight in request.weights:
+                    if not 0 <= edge_id < total_edges:
+                        raise ReproError(
+                            f"ingest weight update targets edge {edge_id}, outside "
+                            f"[0, {total_edges}) (existing edges + this batch)"
+                        )
+                node_ids = tuple(
+                    self.graph.add_node(label, types=(node_type,) if node_type else ())
+                    for label, node_type in request.nodes
+                )
+                edge_ids = tuple(
+                    self.graph.add_edge(source, target, label, weight)
+                    for source, target, label, weight in request.edges
+                )
+                for edge_id, weight in request.weights:
+                    self.graph.set_edge_weight(edge_id, weight)
+                if (
+                    self.pool is None
+                    and self.compaction_threshold is not None
+                    and getattr(self.graph, "delta_size", 0) > self.compaction_threshold
+                ):
+                    self.graph.compact()
+                generation = self.graph.generation
+                delta_size = getattr(self.graph, "delta_size", 0)
+        except ReproError as error:
+            with self._gauge_lock:
+                self.errors += 1
+            return IngestResult(status=STATUS_ERROR, error=str(error), tag=request.tag)
+        with self._gauge_lock:
+            self.ingests += 1
+        return IngestResult(
+            status=STATUS_OK,
+            node_ids=node_ids,
+            edge_ids=edge_ids,
+            generation=generation,
+            delta_size=delta_size,
+            tag=request.tag,
+        )
 
     # ------------------------------------------------------------------
     # request handling
@@ -284,13 +405,19 @@ class QueryServer:
             )
         # Capture warmth BEFORE evaluating: the claim is about what this
         # request found, not what it left behind.
-        was_warm = self.pool.warm
+        was_warm = self.pool.warm if self.pool is not None else False
         algorithm = request.algorithm or self.algorithm
         try:
             get_algorithm(algorithm)  # admission-time validation
             config = self._config_for(request)
+            # Pin the MVCC read view under the ingest lock: the view is a
+            # frozen base-∪-delta overlay (or the base itself) that no
+            # concurrent ingest can mutate, so every CTP and BGP of this
+            # request reads one consistent generation.
+            with self._ingest_lock:
+                view = self.graph.read_view() if hasattr(self.graph, "read_view") else self.graph
             result = evaluate_query(
-                self.graph,
+                view,
                 request.query,
                 algorithm=algorithm,
                 base_config=config,
@@ -314,14 +441,23 @@ class QueryServer:
             dispatch_modes=[report.dispatch_mode for report in result.ctp_reports],
             deadline_truncated=deadline is not None
             and any(report.result_set.timed_out for report in result.ctp_reports),
-            pool_dispatches=self.pool.dispatches,
-            pool_respawns=self.pool.respawns,
+            pool_dispatches=self.pool.dispatches if self.pool is not None else 0,
+            pool_respawns=self.pool.respawns if self.pool is not None else 0,
             pending=pending,
             seconds=time.perf_counter() - started,
             retries=resilience.retries if resilience is not None else 0,
             hangs=resilience.hangs if resilience is not None else 0,
-            breaker_state=self.pool.breaker.state,
-            recycled_workers=self.pool.recycles,
+            breaker_state=self.pool.breaker.state if self.pool is not None else "closed",
+            recycled_workers=self.pool.recycles if self.pool is not None else 0,
+            generation=result.generation,
+            delta_size=getattr(self.graph, "delta_size", 0),
+            compactions=(
+                self.pool.compactions
+                if self.pool is not None
+                else getattr(self.graph, "compactions", 0)
+            ),
+            resnapshots_avoided=self.pool.resnapshots_avoided if self.pool is not None else 0,
+            resnapshot_thrash=self.pool.resnapshot_thrash if self.pool is not None else 0,
         )
         with self._gauge_lock:
             self.served += 1
@@ -344,12 +480,17 @@ class QueryServer:
                 "expired": self.expired,
                 "errors": self.errors,
                 "shed": self.shed,
+                "ingests": self.ingests,
                 "pending": self._pending,
                 "max_pending": self.max_pending,
                 "shed_threshold": self.shed_threshold,
                 "draining": self._draining,
+                "dispatch_mode": self.dispatch_mode,
+                "generation": getattr(self.graph, "generation", 0),
+                "delta_size": getattr(self.graph, "delta_size", 0),
+                "graph_compactions": getattr(self.graph, "compactions", 0),
             }
-        counters["pool"] = self.pool.stats()
+        counters["pool"] = self.pool.stats() if self.pool is not None else None
         counters["context"] = self.context.stats_dict()
         return counters
 

@@ -19,6 +19,7 @@ def test_registry_contains_every_figure_and_table():
         "abl01",
         "backend",
         "chaos",
+        "delta",
         "interning",
         "parallel",
         "process-parallel",

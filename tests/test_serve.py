@@ -165,9 +165,11 @@ def test_pool_validates_workers(fig1):
 
 
 # ----------------------------------------------------------------------
-# snapshot generations: mutation re-snapshots, eager temp release
+# snapshot generations: deltas ship to warm workers, compaction re-snapshots
 # ----------------------------------------------------------------------
-def test_pool_resnapshots_after_mutation(fig1):
+def test_pool_ships_delta_after_mutation(fig1):
+    # Default MVCC behavior: a small mutation rides the delta overlay to
+    # the existing workers — no resnapshot, no respawn, same base path.
     with WorkerPool(fig1, workers=1) as pool:
         _pool_eval(fig1, pool)
         first_path = pool.snapshot_path
@@ -175,7 +177,26 @@ def test_pool_resnapshots_after_mutation(fig1):
         fig1.add_edge(node, 0, "rel")
         serial = evaluate_query(fig1, MATRIX_QUERY)
         result = _pool_eval(fig1, pool)
+        assert pool.resnapshots == 0
+        assert pool.resnapshots_avoided >= 1
+        assert pool.snapshot_path == first_path
+        assert os.path.exists(first_path)
+        assert result.rows == serial.rows
+
+
+def test_pool_resnapshots_after_mutation_legacy_threshold(fig1):
+    # compaction_threshold=0 restores the legacy contract: any mutation
+    # compacts at the next dispatch boundary, which re-snapshots and
+    # releases the stale temp file eagerly.
+    with WorkerPool(fig1, workers=1, compaction_threshold=0) as pool:
+        _pool_eval(fig1, pool)
+        first_path = pool.snapshot_path
+        node = fig1.add_node("Zed")
+        fig1.add_edge(node, 0, "rel")
+        serial = evaluate_query(fig1, MATRIX_QUERY)
+        result = _pool_eval(fig1, pool)
         assert pool.resnapshots == 1
+        assert pool.compactions == 1
         assert pool.snapshot_path != first_path
         assert not os.path.exists(first_path)  # stale file released eagerly
         assert result.rows == serial.rows
