@@ -53,6 +53,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             shared_context=args.shared_context,
             parallelism=args.parallelism,
             parallelism_mode=args.parallelism_mode,
+            scheduling=args.scheduling,
         )
     except ValueError as error:  # bad flag combinations are user errors
         raise ReproError(str(error)) from None
@@ -85,6 +86,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"union_hits={ctx['pool_union_hits']} "
             f"ctp_cache={ctx['ctp_cache_hits']}/{ctx['ctp_cache_hits'] + ctx['ctp_cache_misses']} "
             f"rooted_hits={ctx['rooted_cache_hits']} seed_cache_hits={ctx['seed_cache_hits']}"
+        )
+    if result.schedule is not None:
+        sched = result.schedule
+        print(
+            f"schedule: mode {sched.mode_requested}->{sched.mode_selected} "
+            f"estimates={[round(e, 1) for e in sched.estimates]} "
+            f"order={sched.submit_order} rebalances={sched.rebalances} "
+            f"(+{sched.rebalanced_seconds:.3f}s) overlaps={sched.pipeline_overlaps}"
         )
     return 0
 
@@ -136,6 +145,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             interning=not args.no_interning,
             parallelism=max(args.workers, 1),
             parallelism_mode="process",
+            scheduling=args.scheduling,
         )
     except ValueError as error:
         raise ReproError(str(error)) from None
@@ -289,8 +299,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=PARALLELISM_MODES,
         default="thread",
         help="how --parallelism fans out: 'thread' (wall-clock overlap for "
-        "deadline-bounded CTPs) or 'process' (worker processes over an "
-        "mmap-shared CSR snapshot; real multi-core overlap for CPU-bound searches)",
+        "deadline-bounded CTPs), 'process' (worker processes over an "
+        "mmap-shared CSR snapshot; real multi-core overlap for CPU-bound "
+        "searches), or 'auto' (cost model picks serial/thread/process per query)",
+    )
+    query.add_argument(
+        "--scheduling",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="cost-model-driven CTP scheduling: longest-first submission, "
+        "deadline-budget rebalancing, pipelined BGP/CTP overlap under thread "
+        "dispatch (rows identical either way)",
     )
     query.add_argument(
         "--snapshot",
@@ -354,6 +373,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-interning",
         action="store_true",
         help="disable the hash-consed edge-set pool in server and workers",
+    )
+    serve.add_argument(
+        "--scheduling",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="cost-model-driven CTP scheduling for every served request "
+        "(per-response telemetry appears in stats.schedule)",
     )
     serve.add_argument("--rows", type=int, help="per-response row limit (pagination)")
     serve.add_argument(

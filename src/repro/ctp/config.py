@@ -14,7 +14,9 @@ from typing import Callable, FrozenSet, Optional, Union
 from repro.errors import ConfigError
 
 #: Dispatch modes accepted by ``SearchConfig.parallelism_mode``.
-PARALLELISM_MODES = ("thread", "process")
+#: ``"auto"`` defers the choice to the cost model per query
+#: (:func:`repro.query.costmodel.choose_mode`).
+PARALLELISM_MODES = ("thread", "process", "auto")
 
 
 class _Wildcard:
@@ -137,6 +139,19 @@ class SearchConfig:
         (:mod:`repro.graph.snapshot`) and evaluate CTPs on a private
         context — real multi-core overlap for CPU-bound complete searches
         under the GIL.  Rows are bit-identical to serial either way.
+        ``"auto"`` lets the evaluator pick serial/thread/process per query
+        from the cost model's estimated total cost vs. dispatch-overhead
+        constants (:mod:`repro.query.costmodel`).
+    scheduling:
+        Evaluator-level knob (ignored by standalone engine runs): turn on
+        cost-model-driven scheduling (:mod:`repro.query.costmodel`) —
+        longest-first CTP submission, execution-time deadline-budget
+        rebalancing (unspent wall budget from fast CTPs flows to
+        still-running slow ones), and pipelined step-(A)→(B) overlap
+        under thread dispatch.  Dispatch-only, absent from the memo
+        fingerprint: result rows are bit-identical to serial evaluation
+        with the flag off.  Default off; ``parallelism_mode="auto"``
+        implies the cost model for *mode selection* regardless.
     """
 
     uni: bool = False
@@ -158,6 +173,7 @@ class SearchConfig:
     shared_context: bool = True
     parallelism: int = 1
     parallelism_mode: str = "thread"
+    scheduling: bool = False
 
     def __post_init__(self) -> None:
         if self.top_k is not None and self.score is None:
@@ -183,6 +199,11 @@ class SearchConfig:
             raise ConfigError(
                 f"unknown parallelism_mode {self.parallelism_mode!r} "
                 f"(use one of {', '.join(PARALLELISM_MODES)})"
+            )
+        if not isinstance(self.scheduling, bool):
+            raise ConfigError(
+                f"scheduling must be a bool (cost-model scheduling on/off), "
+                f"got {self.scheduling!r}"
             )
         if self.backend not in ("auto", "dict", "csr"):
             raise ConfigError(f"unknown backend {self.backend!r} (use 'auto', 'dict', or 'csr')")

@@ -566,7 +566,10 @@ class ResultCache:
     Hits refresh recency.  ``thread_safe=True`` takes a lock around every
     LRU mutation (the ``OrderedDict`` reorder on hit makes even ``get`` a
     write).  Counters are plain attributes so callers can fold them into
-    reports without extra accessors.
+    reports without extra accessors; ``size_walks`` counts
+    :func:`approx_bytes` deep walks — exactly one per *distinct inserted
+    value*, because re-putting the identical object under its key (the
+    memo-replay path) reuses the size cached at first insertion.
     """
 
     __slots__ = (
@@ -579,6 +582,7 @@ class ResultCache:
         "hits",
         "misses",
         "evictions",
+        "size_walks",
     )
 
     def __init__(self, maxsize: int, max_bytes: Optional[int] = None, thread_safe: bool = False):
@@ -595,6 +599,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.size_walks = 0
 
     def get(self, key):
         lock = self._lock
@@ -625,11 +630,21 @@ class ResultCache:
         data = self._data
         if key in data:
             data.move_to_end(key)
+            if data[key] is value:
+                # Re-filing the identical object (memo replay runs once
+                # per fan-out, batch evaluation once per query): the
+                # cached deep size is still exact, so this is a recency
+                # refresh only — no second size walk.
+                return
             self.total_bytes -= self._nbytes.get(key, 0)
         data[key] = value
         # Sizing is skipped entirely for unbounded-bytes caches: the walk
         # is the expensive part, the counters are just ints.
-        nbytes = approx_bytes(value) if self.max_bytes is not None else 0
+        if self.max_bytes is not None:
+            nbytes = approx_bytes(value)
+            self.size_walks += 1
+        else:
+            nbytes = 0
         self._nbytes[key] = nbytes
         self.total_bytes += nbytes
         max_bytes = self.max_bytes
@@ -811,10 +826,10 @@ class SearchContext:
         """The search-relevant identity of a :class:`SearchConfig`.
 
         Every field that can change a result set (or its truncation) is
-        included; ``shared_context`` and ``parallelism`` are
-        representation/dispatch-only and deliberately absent — a parallel
-        evaluation may serve (and file) the same memo entries as a serial
-        one.
+        included; ``shared_context``, ``parallelism``, and ``scheduling``
+        are representation/dispatch-only and deliberately absent — a
+        parallel (or cost-model-scheduled) evaluation may serve (and
+        file) the same memo entries as a serial one.
         """
         return (
             config.uni,

@@ -60,10 +60,14 @@ class SearchStats:
         Every field sums — including ``elapsed_seconds``, which therefore
         reads as *aggregate search time* across the merged runs (under
         parallel dispatch that exceeds the wall-clock of the batch; the
-        wall-clock lives in the caller's timings).
+        wall-clock lives in the caller's timings).  The merge is driven by
+        *this* class's field introspection with a zero default for fields
+        ``other`` lacks: an instance unpickled from an older worker (or a
+        checkpoint that predates a counter) merges cleanly instead of
+        silently dropping — or crashing on — the newer counters.
         """
         for spec in fields(self):
-            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name, 0))
         return self
 
     @classmethod
@@ -82,27 +86,27 @@ class SearchStats:
         return out
 
     def as_dict(self) -> Dict[str, float]:
-        return {
-            "init_trees": self.init_trees,
-            "grows": self.grows,
-            "merges_attempted": self.merges_attempted,
-            "merges": self.merges,
-            "mo_copies": self.mo_copies,
-            "pruned_history": self.pruned_history,
-            "pruned_filters": self.pruned_filters,
-            "trees_kept": self.trees_kept,
-            "queue_pushes": self.queue_pushes,
-            "results_found": self.results_found,
-            "duplicate_results": self.duplicate_results,
-            "merge_buckets_skipped": self.merge_buckets_skipped,
-            "balanced_pop_scans": self.balanced_pop_scans,
-            "pool_sets": self.pool_sets,
-            "pool_union_hits": self.pool_union_hits,
-            "pool_union_misses": self.pool_union_misses,
-            "ctx_rooted_hits": self.ctx_rooted_hits,
-            "provenances": self.provenances,
-            "elapsed_seconds": self.elapsed_seconds,
-        }
+        """Every declared counter plus the derived ``provenances``.
+
+        Field-introspected (not a hand-maintained literal) so a counter
+        added to the dataclass can never be silently absent from reports,
+        checkpoints, or bench JSON.
+        """
+        out: Dict[str, float] = {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        out["provenances"] = self.provenances
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "SearchStats":
+        """Rebuild from :meth:`as_dict` output, tolerantly in both directions.
+
+        Unknown keys (derived values like ``provenances``, or counters
+        from a *newer* writer) are ignored; missing keys (a dict from an
+        *older* writer) keep their dataclass defaults — so round-tripping
+        never drops known counters and never crashes on vintage data.
+        """
+        known = {spec.name for spec in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
     def format(self) -> str:
         return (

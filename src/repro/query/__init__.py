@@ -30,6 +30,14 @@ from repro.query.ast import (
 )
 from repro.query.parser import parse_query
 from repro.query.bgp import evaluate_bgp
+from repro.query.costmodel import (
+    CostFeatures,
+    CTPCostEstimator,
+    DeadlineLedger,
+    QuerySchedule,
+    ScheduleReport,
+    choose_mode,
+)
 from repro.query.evaluator import QueryResult, evaluate_query
 from repro.query.parallel import BatchResult, evaluate_queries
 from repro.query.pool import WorkerPool
@@ -40,13 +48,19 @@ __all__ = [
     "BatchResult",
     "WorkerPool",
     "CTP",
+    "CTPCostEstimator",
     "CTPFilters",
     "Condition",
+    "CostFeatures",
+    "DeadlineLedger",
     "EQLQuery",
     "EdgePattern",
     "Predicate",
     "QueryResult",
+    "QuerySchedule",
     "SCORE_FUNCTIONS",
+    "ScheduleReport",
+    "choose_mode",
     "evaluate_bgp",
     "evaluate_queries",
     "evaluate_query",

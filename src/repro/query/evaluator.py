@@ -52,7 +52,19 @@ from repro.errors import EvaluationError
 from repro.graph.graph import Graph
 from repro.query.ast import CTP, CTPFilters, EQLQuery, Predicate
 from repro.query.bgp import evaluate_bgp
-from repro.query.parallel import CTPJob, run_ctp_jobs
+from repro.query.costmodel import (
+    CTPCostEstimator,
+    DeadlineLedger,
+    QuerySchedule,
+    ScheduleReport,
+    choose_mode,
+)
+from repro.query.parallel import (
+    CTPJob,
+    PipelinedDispatch,
+    effective_parallelism,
+    run_ctp_jobs,
+)
 from repro.query.resilience import ResilienceReport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (pool imports from parallel)
@@ -127,6 +139,12 @@ class QueryResult:
     #: MVCC generation of the graph (view) the query evaluated against.
     #: Rows are reproducible against a full freeze of that generation.
     generation: Optional[int] = None
+    #: The cost model's decisions and measurements for this query
+    #: (:class:`~repro.query.costmodel.ScheduleReport`): per-CTP estimates
+    #: vs. actual seconds, submission order, rebalance counters, pipeline
+    #: overlap.  Set when ``scheduling=True`` or
+    #: ``parallelism_mode="auto"``; ``None`` when the cost model never ran.
+    schedule: Optional[ScheduleReport] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -448,7 +466,18 @@ def evaluate_query(
 
     When ``base_config.deadline`` is set, each CTP's effective timeout is
     capped to the whole-query budget remaining when its job is built
-    (:func:`_cap_to_deadline`).
+    (:func:`_cap_to_deadline`) — or, with ``scheduling=True``, to its
+    cost-proportional share of the budget, rebalanced upward at execution
+    time as faster CTPs finish under their shares
+    (:class:`~repro.query.costmodel.DeadlineLedger`).
+
+    ``base_config.scheduling`` turns on the cost-model scheduling
+    decisions (longest-first submission, deadline rebalancing, pipelined
+    (A)→(B) overlap under thread dispatch);
+    ``base_config.parallelism_mode="auto"`` has the cost model pick
+    serial/thread/process dispatch per query.  Either one attaches a
+    :class:`~repro.query.costmodel.ScheduleReport` to
+    ``QueryResult.schedule``.
     """
     query_started = time.perf_counter()
     if isinstance(query, str):
@@ -465,46 +494,195 @@ def evaluate_query(
             thread_safe=base_config.parallelism > 1,
         )
 
-    # Step (A): evaluate each BGP into a materialized table.
-    started = time.perf_counter()
-    bgp_tables = [evaluate_bgp(graph, bgp) for bgp in query.bgps()]
-    bgp_seconds = time.perf_counter() - started
+    # Cost-model scheduling (repro.query.costmodel): an estimator is built
+    # when the query opts into scheduling decisions (``scheduling=True``)
+    # or asks the cost model to pick the dispatch mode (``"auto"``).
+    scheduling = base_config.scheduling
+    auto_mode = base_config.parallelism_mode == "auto"
+    estimator = CTPCostEstimator() if (scheduling or auto_mode) else None
+    schedule: Optional[QuerySchedule] = None
 
+    bgps = query.bgps()
     seed_vars = {seed.var for ctp in query.ctps for seed in ctp.seeds}
-    binding_values = derive_binding_values(bgp_tables, only=seed_vars)
-
-    # Step (B): evaluate each CTP on its derived seed sets, all runs inside
-    # the query-scoped context (shared pool + caches) when one is active.
-    # Seed derivation stays serial (it shares one dedup cache); the
-    # searches themselves go through the dispatch layer — the serial loop
-    # for parallelism=1, a worker pool with in-flight memo dedup otherwise.
-    ctp_started = time.perf_counter()
     seed_cache: Dict[Any, List[int]] = {}
     seed_cache_hits = 0
-    jobs: List[CTPJob] = []
-    derived: List[Tuple[Tuple[Optional[int], ...], List[int]]] = []
-    for index, ctp in enumerate(query.ctps):
-        seed_sets, sizes, wildcard_positions, hits = _seed_sets_for_ctp(
-            graph, ctp, binding_values, seed_cache
-        )
-        seed_cache_hits += hits
-        config = _cap_to_deadline(config_for_ctp(ctp.filters, base_config, default_timeout), query_started)
-        memo_key = (
-            _ctp_memo_key(graph, algorithm, seed_sets, config) if context is not None else None
-        )
-        jobs.append(CTPJob(index=index, seed_sets=seed_sets, config=config, memo_key=memo_key))
-        derived.append((sizes, wildcard_positions))
-    resilience = ResilienceReport() if pool is not None else None
-    outcomes = run_ctp_jobs(
-        graph,
-        algorithm,
-        jobs,
-        context,
-        base_config.parallelism,
-        base_config.parallelism_mode,
-        pool=pool,
-        report=resilience,
+    resilience: Optional[ResilienceReport] = None
+
+    # Pipelined (A)→(B) overlap: under explicit thread dispatch with
+    # scheduling on, each CTP only needs the bindings of its *own* seed
+    # variables (BGPs are variable-disjoint components), so connection
+    # search starts the moment they resolve instead of after the last BGP.
+    # ``auto`` keeps the barrier path — the mode decision needs every
+    # CTP's estimate, which needs every seed set, which needs all of step
+    # (A) anyway.
+    pipelined = (
+        scheduling
+        and base_config.parallelism_mode == "thread"
+        and base_config.parallelism > 1
+        and len(query.ctps) > 1
+        and (context is None or context.thread_safe)
     )
+
+    if pipelined:
+        ledger = None
+        if base_config.deadline is not None:
+            # Registered incrementally as CTPs become ready (no prime):
+            # early CTPs see a smaller pending pool and get generous
+            # shares — exactly the overlap case where budget is plentiful.
+            workers = min(base_config.parallelism, len(query.ctps))
+            ledger = DeadlineLedger(base_config.deadline, query_started, workers)
+        schedule = QuerySchedule(ledger=ledger, enabled=True)
+        schedule.report.mode_requested = "thread"
+        schedule.report.mode_selected = "thread"
+
+        bgp_var_sets = [frozenset(bgp.variables()) for bgp in bgps]
+        deps = [
+            {b for b, names in enumerate(bgp_var_sets) if set(ctp.seed_vars()) & names}
+            for ctp in query.ctps
+        ]
+        dispatch = PipelinedDispatch(
+            graph,
+            algorithm,
+            context,
+            workers=min(base_config.parallelism, len(query.ctps)),
+            backend=base_config.backend,
+            schedule=schedule,
+        )
+        ctp_started = time.perf_counter()
+        bgp_tables = []
+        binding_values: Dict[str, List[Any]] = {}
+        derived: List[Any] = [None] * len(query.ctps)
+        pending = list(range(len(query.ctps)))
+        bgp_seconds = 0.0
+
+        def submit_ready(done_bgps: int) -> None:
+            nonlocal seed_cache_hits
+            ready: List[CTPJob] = []
+            still: List[int] = []
+            for index in pending:
+                if any(dep >= done_bgps for dep in deps[index]):
+                    still.append(index)
+                    continue
+                ctp = query.ctps[index]
+                seed_sets, sizes, wildcard_positions, hits = _seed_sets_for_ctp(
+                    graph, ctp, binding_values, seed_cache
+                )
+                seed_cache_hits += hits
+                config = config_for_ctp(ctp.filters, base_config, default_timeout)
+                cost = estimator.estimate_ctp(graph, algorithm, sizes, config)
+                schedule.estimates[index] = cost
+                if ledger is not None:
+                    build = ledger.register(index, cost, config.timeout)
+                    config = config.with_(timeout=build)
+                memo_key = (
+                    _ctp_memo_key(graph, algorithm, seed_sets, config)
+                    if context is not None
+                    else None
+                )
+                derived[index] = (sizes, wildcard_positions)
+                ready.append(
+                    CTPJob(index=index, seed_sets=seed_sets, config=config, memo_key=memo_key)
+                )
+            pending[:] = still
+            dispatch.submit_ready(ready, overlapped=done_bgps < len(bgps))
+
+        try:
+            submit_ready(0)  # free-seed CTPs start before any BGP runs
+            for done, bgp in enumerate(bgps):
+                bgp_start = time.perf_counter()
+                table = evaluate_bgp(graph, bgp)
+                bgp_seconds += time.perf_counter() - bgp_start
+                bgp_tables.append(table)
+                # Variable-disjoint components: each seed variable is
+                # bound by at most one table, so per-table derivation is
+                # exactly derive_binding_values over the full set.
+                for column in table.columns:
+                    if column in seed_vars:
+                        binding_values[column] = table.distinct_values(column)
+                submit_ready(done + 1)
+        except BaseException:
+            dispatch.abort()
+            raise
+        outcomes = dispatch.finish()
+    else:
+        # Step (A): evaluate each BGP into a materialized table.
+        started = time.perf_counter()
+        bgp_tables = [evaluate_bgp(graph, bgp) for bgp in bgps]
+        bgp_seconds = time.perf_counter() - started
+
+        binding_values = derive_binding_values(bgp_tables, only=seed_vars)
+
+        # Step (B): evaluate each CTP on its derived seed sets, all runs
+        # inside the query-scoped context (shared pool + caches) when one
+        # is active.  Seed derivation stays serial (it shares one dedup
+        # cache); the searches themselves go through the dispatch layer —
+        # the serial loop for parallelism=1, a worker pool with in-flight
+        # memo dedup otherwise.
+        ctp_started = time.perf_counter()
+        prepared: List[Tuple[List[Any], SearchConfig]] = []
+        costs: Dict[int, float] = {}
+        derived = []
+        for index, ctp in enumerate(query.ctps):
+            seed_sets, sizes, wildcard_positions, hits = _seed_sets_for_ctp(
+                graph, ctp, binding_values, seed_cache
+            )
+            seed_cache_hits += hits
+            config = config_for_ctp(ctp.filters, base_config, default_timeout)
+            if estimator is not None:
+                costs[index] = estimator.estimate_ctp(graph, algorithm, sizes, config)
+            prepared.append((seed_sets, config))
+            derived.append((sizes, wildcard_positions))
+
+        mode = base_config.parallelism_mode
+        parallelism = base_config.parallelism
+        mode_selected: Optional[str] = None
+        if auto_mode:
+            mode_selected = choose_mode(sum(costs.values()), len(prepared), parallelism, pool)
+            if mode_selected == "serial":
+                mode, parallelism = "thread", 1
+            else:
+                mode = mode_selected
+
+        if estimator is not None:
+            ledger = None
+            if scheduling and base_config.deadline is not None:
+                workers = effective_parallelism(parallelism, len(prepared), context, mode)
+                ledger = DeadlineLedger(base_config.deadline, query_started, workers)
+                ledger.prime(costs)  # full pending pool before any build share
+            schedule = QuerySchedule(estimates=costs, ledger=ledger, enabled=scheduling)
+            schedule.report.mode_requested = base_config.parallelism_mode
+            if mode_selected is None:
+                workers = effective_parallelism(parallelism, len(prepared), context, mode)
+                pooled = pool is not None and mode == "process" and not pool.closed
+                mode_selected = mode if workers > 1 or pooled else "serial"
+            schedule.report.mode_selected = mode_selected
+
+        jobs: List[CTPJob] = []
+        for index, (seed_sets, config) in enumerate(prepared):
+            if schedule is not None and schedule.ledger is not None:
+                # The ledger replaces the historical freeze-at-build cap:
+                # each CTP's budget is its cost-proportional share of the
+                # remaining deadline (rebalanced upward at execution time).
+                build = schedule.ledger.register(index, costs[index], config.timeout)
+                config = config.with_(timeout=build)
+            else:
+                config = _cap_to_deadline(config, query_started)
+            memo_key = (
+                _ctp_memo_key(graph, algorithm, seed_sets, config) if context is not None else None
+            )
+            jobs.append(CTPJob(index=index, seed_sets=seed_sets, config=config, memo_key=memo_key))
+        resilience = ResilienceReport() if pool is not None else None
+        outcomes = run_ctp_jobs(
+            graph,
+            algorithm,
+            jobs,
+            context,
+            parallelism,
+            mode,
+            pool=pool,
+            report=resilience,
+            schedule=schedule,
+        )
     ctp_tables: List[Table] = []
     reports: List[CTPReport] = []
     for ctp, (sizes, wildcard_positions), outcome in zip(query.ctps, derived, outcomes):
@@ -521,7 +699,11 @@ def evaluate_query(
             )
         )
         ctp_tables.append(_ctp_table(graph, ctp, outcome.result_set, wildcard_positions))
-    ctp_seconds = time.perf_counter() - ctp_started
+    # Under the pipelined path steps (A) and (B) overlap on the wall clock:
+    # the BGP evaluation time is attributed to bgp_seconds and the rest of
+    # the combined section to ctp_seconds, so the phase totals still sum to
+    # the query's wall time.
+    ctp_seconds = time.perf_counter() - ctp_started - (bgp_seconds if pipelined else 0.0)
 
     # Step (C): join everything and project on the head.
     join_started = time.perf_counter()
@@ -548,4 +730,5 @@ def evaluate_query(
         context_stats=context_stats,
         resilience=resilience,
         generation=getattr(graph, "generation", 0),
+        schedule=schedule.finalize(outcomes) if schedule is not None else None,
     )

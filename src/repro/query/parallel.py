@@ -69,7 +69,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.ctp.config import SearchConfig
+from repro.ctp.config import WILDCARD, SearchConfig
 from repro.ctp.interning import SearchContext
 from repro.ctp.registry import get_algorithm
 from repro.ctp.results import CTPResultSet
@@ -78,6 +78,7 @@ from repro.errors import PoolClosedError, ReproError, StaleViewError, WorkerHang
 from repro.graph.backend import resolve_backend
 from repro.graph.graph import Graph
 from repro.graph.snapshot import ensure_snapshot
+from repro.query.costmodel import CTPCostEstimator, QuerySchedule, choose_mode
 from repro.query.resilience import ResilienceReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (evaluator imports us)
@@ -152,6 +153,44 @@ def _replayable(result_set: CTPResultSet) -> bool:
     return result_set.complete and not result_set.timed_out
 
 
+def _resolve_auto_mode(
+    graph: Graph,
+    algorithm: str,
+    jobs: Sequence[CTPJob],
+    parallelism: int,
+    pool: Optional["WorkerPool"],
+    schedule: Optional[QuerySchedule],
+) -> Tuple[str, int]:
+    """Resolve ``mode="auto"`` for a direct :func:`run_ctp_jobs` caller.
+
+    The evaluator resolves auto itself (it has the seed-derivation sizes
+    and the pool in hand); a direct caller gets the same decision from
+    the jobs' own seed sets.  Returns ``(mode, parallelism)`` — a
+    ``serial`` verdict is expressed as ``("thread", 1)`` so the historical
+    collapse-to-serial rules apply unchanged.
+    """
+    if schedule is not None and schedule.estimates:
+        total = sum(schedule.estimates.values())
+    else:
+        estimator = CTPCostEstimator()
+        total = sum(
+            estimator.estimate_ctp(
+                graph,
+                algorithm,
+                [None if seeds is WILDCARD else len(seeds) for seeds in job.seed_sets],
+                job.config,
+            )
+            for job in jobs
+        )
+    resolved = choose_mode(total, len(jobs), parallelism, pool)
+    if schedule is not None:
+        schedule.report.mode_requested = "auto"
+        schedule.report.mode_selected = resolved
+    if resolved == "serial":
+        return "thread", 1
+    return resolved, parallelism
+
+
 def run_ctp_jobs(
     graph: Graph,
     algorithm: str,
@@ -161,6 +200,7 @@ def run_ctp_jobs(
     mode: str = "thread",
     pool: Optional["WorkerPool"] = None,
     report: Optional[ResilienceReport] = None,
+    schedule: Optional[QuerySchedule] = None,
 ) -> List[CTPOutcome]:
     """Evaluate ``jobs`` and return one :class:`CTPOutcome` per job, in order.
 
@@ -182,7 +222,19 @@ def run_ctp_jobs(
     outcome closes or re-opens it.  ``report`` (a
     :class:`~repro.query.resilience.ResilienceReport`) collects what
     resilience machinery fired, for the serving layer's telemetry.
+
+    ``schedule`` (a :class:`~repro.query.costmodel.QuerySchedule`) turns
+    on the cost-model decisions: longest-first leader submission in the
+    fan-out and execution-time deadline-budget grants (the job configs
+    carry build budgets; the ledger may re-grant upward, never downward).
+    ``mode="auto"`` is resolved here for direct callers
+    (:func:`_resolve_auto_mode`) — the evaluator resolves it before
+    calling.
     """
+    if mode == "auto":
+        mode, parallelism = _resolve_auto_mode(
+            graph, algorithm, jobs, parallelism, pool, schedule
+        )
     if (
         pool is not None
         and mode == "process"
@@ -195,14 +247,18 @@ def run_ctp_jobs(
                 report.breaker_skips += 1
                 report.breaker_state = pool.breaker.state
                 report.recycled_workers = pool.recycles
-            return _degraded_from_process(graph, algorithm, jobs, context, parallelism, report)
-        return _run_process_pooled(graph, algorithm, jobs, context, pool, parallelism, report)
+            return _degraded_from_process(
+                graph, algorithm, jobs, context, parallelism, report, schedule
+            )
+        return _run_process_pooled(
+            graph, algorithm, jobs, context, pool, parallelism, report, schedule
+        )
     workers = effective_parallelism(parallelism, len(jobs), context, mode)
     if workers <= 1:
-        return _run_serial(graph, algorithm, jobs, context)
+        return _run_serial(graph, algorithm, jobs, context, schedule)
     if mode == "process":
-        return _run_process(graph, algorithm, jobs, context, workers)
-    return _run_parallel(graph, algorithm, jobs, context, workers)
+        return _run_process(graph, algorithm, jobs, context, workers, schedule)
+    return _run_parallel(graph, algorithm, jobs, context, workers, schedule)
 
 
 def _run_serial(
@@ -210,8 +266,16 @@ def _run_serial(
     algorithm: str,
     jobs: Sequence[CTPJob],
     context: Optional[SearchContext],
+    schedule: Optional[QuerySchedule] = None,
 ) -> List[CTPOutcome]:
-    """The historical evaluator loop: memo get -> search -> memo put, per CTP."""
+    """The historical evaluator loop: memo get -> search -> memo put, per CTP.
+
+    Serial dispatch keeps CTP order even under a schedule (it *is* the
+    reference ordering), but deadline-budget grants still apply: a fast
+    early CTP's unspent budget flows to the later ones instead of being
+    frozen at job-build time — the big serial tail-latency win ``python
+    -m repro.bench schedule`` measures.
+    """
     algo = get_algorithm(algorithm)
     outcomes: List[CTPOutcome] = []
     for job in jobs:
@@ -222,11 +286,14 @@ def _run_serial(
             result_set = context.ctp_cache.get(job.memo_key)
             cache_hit = result_set is not None
         if result_set is None:
-            result_set = algo.run(graph, job.seed_sets, job.config, context=context)
+            config = job.config if schedule is None else schedule.config_for_run(job)
+            result_set = algo.run(graph, job.seed_sets, config, context=context)
             # Only complete, untruncated evaluations are safe to replay for
             # a later CTP: a timeout cut is wall-clock-dependent.
             if context is not None and job.memo_key is not None and _replayable(result_set):
                 context.ctp_cache.put(job.memo_key, result_set)
+        if schedule is not None:
+            schedule.settle(job.index)
         outcomes.append(
             CTPOutcome(
                 result_set,
@@ -244,6 +311,7 @@ def _fan_out(
     pool: Any,
     submit_one: Any,
     result_timeout: Optional[float] = None,
+    schedule: Optional[QuerySchedule] = None,
 ) -> Tuple[List[Optional[CTPOutcome]], List[int]]:
     """Phases 1-2 of a pooled dispatch, executor-agnostic.
 
@@ -266,6 +334,14 @@ def _fan_out(
     :class:`~repro.errors.WorkerHangError` — a worker that cannot even
     return a ``timed_out`` partial result inside its own budget plus
     grace is wedged, and waiting longer would hold the dispatch forever.
+
+    ``schedule`` orders the leader submissions **longest-first** by the
+    cost model's estimates (ties broken by CTP index, so the order is
+    deterministic): with fewer workers than leaders, starting the
+    stragglers first shrinks the makespan.  Representation-only — memo
+    filing stays in CTP order (phase 3) and outcomes are written by CTP
+    index, so rows and cache LRU state are bit-identical to serial
+    whatever order the leaders ran in.
     """
     outcomes: List[Optional[CTPOutcome]] = [None] * len(jobs)
     pending: List[CTPJob] = []
@@ -274,6 +350,8 @@ def _fan_out(
             cached = context.ctp_cache.get(job.memo_key)
             if cached is not None:
                 outcomes[job.index] = CTPOutcome(cached, True, 0.0)
+                if schedule is not None:
+                    schedule.settle(job.index)
                 continue
         pending.append(job)
 
@@ -281,6 +359,11 @@ def _fan_out(
     for job in pending:
         key = job.memo_key if job.memo_key is not None else ("__unkeyed__", job.index)
         groups.setdefault(key, []).append(job)
+
+    ordered_groups: List[List[CTPJob]] = list(groups.values())
+    if schedule is not None:
+        ordered_groups = schedule.ordered(ordered_groups, lambda group: group[0].index)
+        schedule.record_submits([group[0].index for group in ordered_groups])
 
     watchdog_deadline = (
         time.monotonic() + result_timeout if result_timeout is not None else None
@@ -291,8 +374,12 @@ def _fan_out(
             return None
         return max(1e-3, watchdog_deadline - time.monotonic())
 
+    def settle(index: int) -> None:
+        if schedule is not None:
+            schedule.settle(index)
+
     followers: List[int] = []
-    future_to_group = {submit_one(pool, group[0]): group for group in groups.values()}
+    future_to_group = {submit_one(pool, group[0]): group for group in ordered_groups}
     rerun_futures: List[Tuple[CTPJob, Any]] = []
     try:
         for future in as_completed(future_to_group, timeout=remaining()):
@@ -300,16 +387,19 @@ def _fan_out(
             result_set, seconds = future.result()
             leader = group[0]
             outcomes[leader.index] = CTPOutcome(result_set, False, seconds)
+            settle(leader.index)
             if _replayable(result_set):
                 # Exactly the runs the serial path would serve as memo hits.
                 for follower in group[1:]:
                     outcomes[follower.index] = CTPOutcome(result_set, True, 0.0)
                     followers.append(follower.index)
+                    settle(follower.index)
             else:
                 rerun_futures.extend((job, submit_one(pool, job)) for job in group[1:])
         for job, future in rerun_futures:
             result_set, seconds = future.result(timeout=remaining())
             outcomes[job.index] = CTPOutcome(result_set, False, seconds)
+            settle(job.index)
     except TimeoutError as error:
         raise WorkerHangError(
             f"pooled fan-out of {len(pending)} CTP job(s) exceeded its "
@@ -351,6 +441,7 @@ def _run_parallel(
     jobs: Sequence[CTPJob],
     context: Optional[SearchContext],
     workers: int,
+    schedule: Optional[QuerySchedule] = None,
 ) -> List[CTPOutcome]:
     # Resolve the backend ONCE before fanning out: Graph.freeze() is
     # memoized but not atomic, so two workers racing the first freeze
@@ -361,12 +452,18 @@ def _run_parallel(
     algo = get_algorithm(algorithm)
 
     def run_one(job: CTPJob) -> Tuple[CTPResultSet, float]:
+        # The deadline-budget grant is read at *execution* start (inside
+        # the worker thread), not submit time: a job that queued behind
+        # siblings picks up whatever budget they left unspent.
+        config = job.config if schedule is None else schedule.config_for_run(job)
         started = time.perf_counter()
-        result_set = algo.run(graph, job.seed_sets, job.config, context=context)
+        result_set = algo.run(graph, job.seed_sets, config, context=context)
         return result_set, time.perf_counter() - started
 
     with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-ctp") as pool:
-        outcomes, followers = _fan_out(jobs, context, pool, lambda p, job: p.submit(run_one, job))
+        outcomes, followers = _fan_out(
+            jobs, context, pool, lambda p, job: p.submit(run_one, job), schedule=schedule
+        )
     _replay_memo(jobs, outcomes, followers, context)
     return _stamp_mode(outcomes, "thread")
 
@@ -525,6 +622,7 @@ def _fallback_dispatch(
     jobs: Sequence[CTPJob],
     context: Optional[SearchContext],
     workers: int,
+    schedule: Optional[QuerySchedule] = None,
 ) -> List[CTPOutcome]:
     """Process dispatch unavailable: degrade to threads, else serial.
 
@@ -533,8 +631,8 @@ def _fallback_dispatch(
     (or absent) context; otherwise the always-correct serial loop runs.
     """
     if context is None or context.thread_safe:
-        return _run_parallel(graph, algorithm, jobs, context, workers)
-    return _run_serial(graph, algorithm, jobs, context)
+        return _run_parallel(graph, algorithm, jobs, context, workers, schedule)
+    return _run_serial(graph, algorithm, jobs, context, schedule)
 
 
 def _run_process(
@@ -543,6 +641,7 @@ def _run_process(
     jobs: Sequence[CTPJob],
     context: Optional[SearchContext],
     workers: int,
+    schedule: Optional[QuerySchedule] = None,
 ) -> List[CTPOutcome]:
     """Fan the jobs out to worker *processes* over an mmap-shared snapshot.
 
@@ -562,10 +661,16 @@ def _run_process(
     except (ReproError, OSError, pickle.PicklingError, TypeError, AttributeError):
         # Unserializable metadata (e.g. exotic node properties): the graph
         # cannot cross a process boundary.
-        return _fallback_dispatch(resolved, algorithm, jobs, context, workers)
+        return _fallback_dispatch(resolved, algorithm, jobs, context, workers, schedule)
     if not _jobs_picklable(algorithm, jobs):
-        return _fallback_dispatch(resolved, algorithm, jobs, context, workers)
+        return _fallback_dispatch(resolved, algorithm, jobs, context, workers, schedule)
     from repro import faults
+
+    def submit_one(p: Any, job: CTPJob) -> Any:
+        # A process job's grant is read at submit time (the worker cannot
+        # reach the parent's ledger); the shipped config carries it.
+        config = job.config if schedule is None else schedule.config_for_run(job)
+        return p.submit(_process_worker_run, algorithm, job.seed_sets, config)
 
     try:
         with ProcessPoolExecutor(
@@ -574,16 +679,9 @@ def _run_process(
             initializer=_process_worker_init,
             initargs=(snapshot_path, jobs[0].config.interning, faults.active_plan(), 0),
         ) as pool:
-            outcomes, followers = _fan_out(
-                jobs,
-                context,
-                pool,
-                lambda p, job: p.submit(
-                    _process_worker_run, algorithm, job.seed_sets, job.config
-                ),
-            )
+            outcomes, followers = _fan_out(jobs, context, pool, submit_one, schedule=schedule)
     except BrokenProcessPool:
-        return _fallback_dispatch(resolved, algorithm, jobs, context, workers)
+        return _fallback_dispatch(resolved, algorithm, jobs, context, workers, schedule)
     _replay_memo(jobs, outcomes, followers, context)
     return _stamp_mode(outcomes, "process")
 
@@ -595,6 +693,7 @@ def _degraded_from_process(
     context: Optional[SearchContext],
     parallelism: int,
     report: Optional[ResilienceReport] = None,
+    schedule: Optional[QuerySchedule] = None,
 ) -> List[CTPOutcome]:
     """Give up on pooled process dispatch: run threads, else serial.
 
@@ -608,10 +707,10 @@ def _degraded_from_process(
     """
     workers = effective_parallelism(parallelism, len(jobs), context, "thread")
     if workers > 1 and (context is None or context.thread_safe):
-        outcomes = _run_parallel(graph, algorithm, jobs, context, workers)
+        outcomes = _run_parallel(graph, algorithm, jobs, context, workers, schedule)
         hop = "thread"
     else:
-        outcomes = _run_serial(graph, algorithm, jobs, context)
+        outcomes = _run_serial(graph, algorithm, jobs, context, schedule)
         hop = "serial"
     for outcome in outcomes:
         if outcome.mode != "memo":
@@ -648,6 +747,7 @@ def _run_process_pooled(
     pool: "WorkerPool",
     parallelism: int,
     report: Optional[ResilienceReport] = None,
+    schedule: Optional[QuerySchedule] = None,
 ) -> List[CTPOutcome]:
     """Fan the jobs out to a *persistent* :class:`~repro.query.pool.WorkerPool`.
 
@@ -680,7 +780,9 @@ def _run_process_pooled(
     """
 
     def degrade() -> List[CTPOutcome]:
-        return _degraded_from_process(graph, algorithm, jobs, context, parallelism, report)
+        return _degraded_from_process(
+            graph, algorithm, jobs, context, parallelism, report, schedule
+        )
 
     policy = pool.retry_policy
     breaker = pool.breaker
@@ -703,7 +805,8 @@ def _run_process_pooled(
         return degrade()
 
     def submit_one(p: "WorkerPool", job: CTPJob) -> Any:
-        return p.submit(algorithm, job.seed_sets, job.config, delta=delta)
+        config = job.config if schedule is None else schedule.config_for_run(job)
+        return p.submit(algorithm, job.seed_sets, config, delta=delta)
 
     watchdog = _watchdog_budget(jobs, pool)
     budget = min(
@@ -716,7 +819,7 @@ def _run_process_pooled(
     while True:
         try:
             outcomes, followers = _fan_out(
-                jobs, context, pool, submit_one, result_timeout=watchdog
+                jobs, context, pool, submit_one, result_timeout=watchdog, schedule=schedule
             )
             breaker.record_success()
             break
@@ -757,6 +860,148 @@ def _note_pool_state(report: Optional[ResilienceReport], pool: "WorkerPool") -> 
     if report is not None:
         report.breaker_state = pool.breaker.state
         report.recycled_workers = pool.recycles
+
+
+# ----------------------------------------------------------------------
+# pipelined step-(A)→(B) dispatch
+# ----------------------------------------------------------------------
+class PipelinedDispatch:
+    """Overlap step (A) BGP evaluation with step (B) connection search.
+
+    The barrier dispatch waits for *every* BGP table before building any
+    CTP job, even though each CTP only needs the bindings of its **own**
+    seed variables — EQL BGPs are connected components under shared
+    variables (:meth:`EQLQuery.bgps`), so a seed variable is bound by at
+    most one of them.  The evaluator drives this class instead when
+    cost-model scheduling is on under thread dispatch: it evaluates BGPs
+    one at a time on the calling thread and submits each CTP the moment
+    its dependencies resolve (free-seed CTPs before any BGP runs), so
+    connection search for early-resolved CTPs executes *while later BGPs
+    are still materializing*.
+
+    The serial path's observable semantics are preserved by the same
+    three-phase discipline as :func:`_fan_out`: memo hits are served on
+    submission, duplicate in-flight CTPs share one leader (non-replayable
+    leaders re-run their followers), and :meth:`finish` barriers, then
+    files the memo in CTP order (:func:`_replay_memo`) — rows and cache
+    LRU state are bit-identical to serial.  Thread-mode only: process
+    dispatch keeps the historical barrier (shipping jobs mid-(A) would
+    serialize on snapshot pickling anyway).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        algorithm: str,
+        context: Optional[SearchContext],
+        workers: int,
+        backend: str = "auto",
+        schedule: Optional[QuerySchedule] = None,
+    ) -> None:
+        # Backend resolved once, for the same freeze-race reason as
+        # _run_parallel.
+        self.graph = resolve_backend(graph, backend)
+        self.algo = get_algorithm(algorithm)
+        self.context = context
+        self.schedule = schedule
+        self.overlapped = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-ctp-pipe"
+        )
+        self._jobs: List[CTPJob] = []
+        self._futures: Dict[int, Any] = {}
+        self._memo_hits: Dict[int, CTPResultSet] = {}
+        self._leaders: Dict[Hashable, int] = {}
+        self._followers_of: Dict[int, List[CTPJob]] = {}
+
+    def _run_one(self, job: CTPJob) -> Tuple[CTPResultSet, float]:
+        config = job.config if self.schedule is None else self.schedule.config_for_run(job)
+        started = time.perf_counter()
+        result_set = self.algo.run(self.graph, job.seed_sets, config, context=self.context)
+        return result_set, time.perf_counter() - started
+
+    def submit_ready(self, jobs: Sequence[CTPJob], overlapped: bool = False) -> None:
+        """Submit jobs whose seed bindings just resolved, longest-first.
+
+        ``overlapped`` marks jobs entering while step (A) still has BGPs
+        to evaluate — the pipeline-overlap count the schedule telemetry
+        reports.
+        """
+        ordered = list(jobs)
+        if self.schedule is not None:
+            ordered = self.schedule.ordered(ordered, lambda job: job.index)
+        for job in ordered:
+            self._submit(job, overlapped)
+
+    def _submit(self, job: CTPJob, overlapped: bool) -> None:
+        self._jobs.append(job)
+        if self.context is not None and job.memo_key is not None:
+            cached = self.context.ctp_cache.get(job.memo_key)
+            if cached is not None:
+                self._memo_hits[job.index] = cached
+                if self.schedule is not None:
+                    self.schedule.settle(job.index)
+                return
+        key = job.memo_key
+        if key is not None:
+            leader = self._leaders.get(key)
+            if leader is not None:
+                # In-flight dedup: ride the leader, settle when it does.
+                self._followers_of[leader].append(job)
+                return
+            self._leaders[key] = job.index
+        self._followers_of[job.index] = []
+        if overlapped:
+            self.overlapped += 1
+        if self.schedule is not None:
+            self.schedule.record_submits([job.index])
+        self._futures[job.index] = self._executor.submit(self._run_one, job)
+
+    def abort(self) -> None:
+        """Best-effort teardown when step (A) fails mid-pipeline."""
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def finish(self) -> List[CTPOutcome]:
+        """Barrier: settle every submitted job, replay the memo, stamp modes."""
+        jobs = sorted(self._jobs, key=lambda job: job.index)
+        size = max((job.index for job in jobs), default=-1) + 1
+        outcomes: List[Optional[CTPOutcome]] = [None] * size
+        followers: List[int] = []
+
+        def settle(index: int) -> None:
+            if self.schedule is not None:
+                self.schedule.settle(index)
+
+        try:
+            for index, cached in self._memo_hits.items():
+                outcomes[index] = CTPOutcome(cached, True, 0.0)
+            rerun_futures: List[Tuple[CTPJob, Any]] = []
+            future_to_index = {future: index for index, future in self._futures.items()}
+            for future in as_completed(future_to_index):
+                index = future_to_index[future]
+                result_set, seconds = future.result()
+                outcomes[index] = CTPOutcome(result_set, False, seconds)
+                settle(index)
+                group = self._followers_of.get(index, [])
+                if _replayable(result_set):
+                    for follower in group:
+                        outcomes[follower.index] = CTPOutcome(result_set, True, 0.0)
+                        followers.append(follower.index)
+                        settle(follower.index)
+                else:
+                    rerun_futures.extend(
+                        (job, self._executor.submit(self._run_one, job)) for job in group
+                    )
+            for job, future in rerun_futures:
+                result_set, seconds = future.result()
+                outcomes[job.index] = CTPOutcome(result_set, False, seconds)
+                settle(job.index)
+        finally:
+            self._executor.shutdown(wait=True)
+        _replay_memo(jobs, outcomes, followers, self.context)
+        if self.schedule is not None:
+            self.schedule.report.pipeline_overlaps = self.overlapped
+        return _stamp_mode(outcomes, "thread")
 
 
 # ----------------------------------------------------------------------

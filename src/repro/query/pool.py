@@ -214,6 +214,20 @@ class WorkerPool:
         """
         return self._executor is not None and self._epoch_work > 0
 
+    def dispatch_overhead(self) -> float:
+        """Cost-units bar a query must clear for process dispatch to pay.
+
+        Consumed by :func:`repro.query.costmodel.choose_mode` when
+        resolving ``parallelism_mode="auto"``: a warm pool's overhead is
+        per-job IPC only (:data:`~repro.query.costmodel.PROCESS_WARM_THRESHOLD`);
+        a cold or respawning pool must still spawn interpreters and load
+        the snapshot per worker
+        (:data:`~repro.query.costmodel.PROCESS_COLD_THRESHOLD`).
+        """
+        from repro.query.costmodel import PROCESS_COLD_THRESHOLD, PROCESS_WARM_THRESHOLD
+
+        return PROCESS_WARM_THRESHOLD if self.warm else PROCESS_COLD_THRESHOLD
+
     @property
     def snapshot_path(self) -> Optional[str]:
         return self._snapshot_path

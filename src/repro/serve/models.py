@@ -159,6 +159,12 @@ class ResponseStats:
     compactions: int = 0
     resnapshots_avoided: int = 0
     resnapshot_thrash: int = 0
+    #: Cost-model scheduling telemetry
+    #: (:meth:`repro.query.costmodel.ScheduleReport.as_dict`): per-CTP
+    #: estimates vs. actual seconds, submission order, rebalance counters,
+    #: pipeline overlap, and the dispatch mode the cost model selected.
+    #: ``None`` when the request ran without scheduling or auto mode.
+    schedule: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)

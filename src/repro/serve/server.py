@@ -458,6 +458,7 @@ class QueryServer:
             ),
             resnapshots_avoided=self.pool.resnapshots_avoided if self.pool is not None else 0,
             resnapshot_thrash=self.pool.resnapshot_thrash if self.pool is not None else 0,
+            schedule=result.schedule.as_dict() if result.schedule is not None else None,
         )
         with self._gauge_lock:
             self.served += 1

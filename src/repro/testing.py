@@ -12,10 +12,62 @@ importable unambiguously by tests, benchmarks, and library users alike.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Tuple
+from concurrent.futures import Future
+from typing import Any, List, Sequence, Tuple
 
 from repro.ctp.results import CTPResultSet, validate_result
 from repro.graph.graph import Graph
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for wall-time-free tests.
+
+    Drop-in for the ``clock`` parameter of
+    :class:`repro.query.costmodel.DeadlineLedger`: call it to read the
+    time, :meth:`advance` to move it.  Scheduling decisions (build
+    budgets, rebalance grants) become exact arithmetic instead of races
+    against the host's scheduler.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> "FakeClock":
+        if seconds < 0:
+            raise ValueError("FakeClock cannot run backwards")
+        self.now += seconds
+        return self
+
+
+class InlineExecutor:
+    """A deterministic executor shim: every submit runs inline, in order.
+
+    Quacks enough like ``concurrent.futures`` pools for the dispatch
+    layer's fan-out (``submit`` returning real, already-resolved
+    ``Future`` objects that ``as_completed`` consumes) while recording
+    the exact submission order in :attr:`submitted` — so tests can pin
+    *scheduling decisions* (longest-first ordering, rebalance timing)
+    without threads, wall clocks, or flaky completion races.
+    """
+
+    def __init__(self) -> None:
+        #: ``(fn, args)`` per submit, in submission order.
+        self.submitted: List[Tuple[Any, Tuple[Any, ...]]] = []
+
+    def submit(self, fn: Any, *args: Any, **kwargs: Any) -> "Future[Any]":
+        self.submitted.append((fn, args))
+        future: "Future[Any]" = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as error:  # noqa: BLE001 - mirror executor semantics
+            future.set_exception(error)
+        return future
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        """No-op (nothing is ever pending); present for pool parity."""
 
 
 def random_graph(
