@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro._util import Deadline, full_mask
 from repro.ctp.engine import normalize_seed_sets
+from repro.ctp.idremap import IdRemap
 from repro.ctp.results import ResultTree
 from repro.errors import SearchError
 from repro.graph.graph import Graph
@@ -37,12 +38,22 @@ def dpbf_optimal_tree(
     seed_sets: Sequence[Sequence[int]],
     uni: bool = False,
     timeout: Optional[float] = None,
+    dense_ids: bool = True,
 ) -> Optional[ResultTree]:
     """The minimum-total-edge-weight connecting tree, or ``None``.
 
     ``uni=True`` restricts growth to reverse-directed edges so the returned
     tree is an arborescence rooted at the DP root (matching the ``UNI``
     filter semantics: the root reaches every seed along edge directions).
+
+    ``dense_ids`` (default) keys the DP's ``best``/``parent``/``settled``
+    maps by packed small ints ``(compact(v) << m) | X`` through a
+    search-local :class:`~repro.ctp.idremap.IdRemap` instead of ``(v, X)``
+    tuples — the same dense-identity discipline as the search engines
+    (tuple keys cost ~72 bytes each and a tuple hash per probe, which
+    dominates DPBF's footprint on large graphs).  Heap ordering and
+    relaxation order are unchanged, so both representations settle states
+    identically; ``False`` keeps the legacy tuple keys as the A/B baseline.
     """
     normalized, wildcard = normalize_seed_sets(graph, seed_sets)
     if wildcard:
@@ -59,13 +70,28 @@ def dpbf_optimal_tree(
         for node in nodes:
             seed_mask[node] = seed_mask.get(node, 0) | (1 << bit)
 
-    # best[(v, X)] = cost; provenance for tree reconstruction.
-    best: Dict[Tuple[int, int], float] = {}
-    parent: Dict[Tuple[int, int], Tuple[str, tuple]] = {}
+    if dense_ids:
+        # Packed state key: compact node index in the high bits, the m-bit
+        # seed-coverage mask in the low bits.  Compact indexes are assigned
+        # in first-touch order, which is deterministic for the fixed heap
+        # order, so dense and legacy runs relax states identically.
+        remap_index = IdRemap().index
+
+        def state_key(node: int, mask: int) -> int:
+            return (remap_index(node) << m) | mask
+
+    else:
+
+        def state_key(node: int, mask: int) -> Tuple[int, int]:
+            return (node, mask)
+
+    # best[state_key(v, X)] = cost; provenance for tree reconstruction.
+    best: Dict[object, float] = {}
+    parent: Dict[object, Tuple[str, tuple]] = {}
     heap: List[Tuple[float, int, int, int]] = []
     counter = 0
     for node, mask in seed_mask.items():
-        state = (node, mask)
+        state = state_key(node, mask)
         best[state] = 0.0
         parent[state] = ("init", ())
         heapq.heappush(heap, (0.0, counter, node, mask))
@@ -73,18 +99,20 @@ def dpbf_optimal_tree(
 
     # states by node, for merges
     settled_by_node: Dict[int, List[int]] = {}
-    final_state: Optional[Tuple[int, int]] = None
+    final_state: Optional[object] = None
+    final_node: Optional[int] = None
     settled: set = set()
     while heap:
         if deadline.expired():
             return None
         cost, _, node, mask = heapq.heappop(heap)
-        state = (node, mask)
+        state = state_key(node, mask)
         if state in settled:
             continue
         settled.add(state)
         if mask == full:
             final_state = state
+            final_node = node
             break
         settled_by_node.setdefault(node, []).append(mask)
         # edge growth
@@ -94,24 +122,26 @@ def dpbf_optimal_tree(
                 # direction so paths run root -> ... -> seed.
                 continue
             edge_weight = graph.edge_weight(edge_id)
-            other_state = (other, mask | seed_mask.get(other, 0))
+            other_mask = mask | seed_mask.get(other, 0)
+            other_state = state_key(other, other_mask)
             new_cost = cost + edge_weight
             if new_cost < best.get(other_state, float("inf")):
                 best[other_state] = new_cost
                 parent[other_state] = ("grow", (state, edge_id))
-                heapq.heappush(heap, (new_cost, counter, other_state[0], other_state[1]))
+                heapq.heappush(heap, (new_cost, counter, other, other_mask))
                 counter += 1
         # merges with settled sibling states at the same node
         for sibling_mask in settled_by_node.get(node, ()):
             if sibling_mask == mask or (sibling_mask & mask):
                 continue
-            sibling_state = (node, sibling_mask)
-            merged_state = (node, mask | sibling_mask)
+            sibling_state = state_key(node, sibling_mask)
+            merged_mask = mask | sibling_mask
+            merged_state = state_key(node, merged_mask)
             new_cost = cost + best[sibling_state]
             if new_cost < best.get(merged_state, float("inf")):
                 best[merged_state] = new_cost
                 parent[merged_state] = ("merge", (state, sibling_state))
-                heapq.heappush(heap, (new_cost, counter, node, merged_state[1]))
+                heapq.heappush(heap, (new_cost, counter, node, merged_mask))
                 counter += 1
     if final_state is None:
         return None
@@ -122,7 +152,7 @@ def dpbf_optimal_tree(
         nodes.add(source)
         nodes.add(target)
     if not edges:
-        nodes = {final_state[0]}
+        nodes = {final_node}
     seeds: List[Optional[int]] = [None] * m
     for node in nodes:
         node_mask = seed_mask.get(node, 0)
@@ -133,7 +163,7 @@ def dpbf_optimal_tree(
     return ResultTree(edges=frozenset(edges), nodes=frozenset(nodes), seeds=tuple(seeds), weight=weight)
 
 
-def _reconstruct(parent: Dict, state: Tuple[int, int]) -> set:
+def _reconstruct(parent: Dict, state) -> set:
     """Collect the edge ids of a DP state's tree by unrolling provenance."""
     edges: set = set()
     stack = [state]

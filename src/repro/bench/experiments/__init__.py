@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     micro_parallel,
     micro_process_parallel,
     micro_query_context,
+    micro_scale,
     micro_schedule,
     micro_serve,
     table1_yago,
@@ -43,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "parallel": micro_parallel.run,
     "process-parallel": micro_process_parallel.run,
     "query-context": micro_query_context.run,
+    "scale": micro_scale.run,
     "schedule": micro_schedule.run,
     "serve": micro_serve.run,
 }

@@ -50,6 +50,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         base_config = SearchConfig(
             backend=args.backend,
             interning=not args.no_interning,
+            dense_ids=not args.no_dense_ids,
             shared_context=args.shared_context,
             parallelism=args.parallelism,
             parallelism_mode=args.parallelism_mode,
@@ -143,6 +144,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         base_config = SearchConfig(
             interning=not args.no_interning,
+            dense_ids=not args.no_dense_ids,
             parallelism=max(args.workers, 1),
             parallelism_mode="process",
             scheduling=args.scheduling,
@@ -281,6 +283,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the hash-consed edge-set pool (frozenset fallback; for A/B timing)",
     )
     query.add_argument(
+        "--no-dense-ids",
+        action="store_true",
+        help="disable dense search-local node ids and flat pool storage "
+        "(legacy global-id masks + dict pools; for A/B timing)",
+    )
+    query.add_argument(
         "--shared-context",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -373,6 +381,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-interning",
         action="store_true",
         help="disable the hash-consed edge-set pool in server and workers",
+    )
+    serve.add_argument(
+        "--no-dense-ids",
+        action="store_true",
+        help="disable dense search-local node ids and flat pool storage "
+        "in server and workers (legacy A/B baseline)",
     )
     serve.add_argument(
         "--scheduling",

@@ -21,8 +21,9 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro._util import Deadline, full_mask
 from repro.ctp.config import DEFAULT_CONFIG, SearchConfig
 from repro.ctp.engine import _StopSearch, normalize_seed_sets
+from repro.ctp.idremap import make_remap
 from repro.ctp.interning import SearchContext, adopt_pool, pool_stats_delta
-from repro.ctp.results import CTPResultSet, ResultTree
+from repro.ctp.results import CTPResultSet, ResultTree, materialize_seeds
 from repro.ctp.stats import SearchStats
 from repro.errors import SearchError
 from repro.graph.backend import resolve_backend
@@ -126,7 +127,13 @@ class _BFTRun:
                 self.seed_mask[node] = self.seed_mask.get(node, 0) | (1 << bit)
         # Query-scoped pool sharing (see _GAMRun): BFT trees are unrooted,
         # so only the pool is adopted, not the rooted-result cache.
-        self.pool, _, self._pool_baseline = adopt_pool(context, graph, config.interning)
+        self.pool, _, self._pool_baseline = adopt_pool(
+            context, graph, config.interning, config.dense_ids
+        )
+        # Dense per-search node identity (repro.ctp.idremap): BFT uses the
+        # masks in both interning modes, and its merge needs the inverse
+        # (mask bit -> global node) to recover the shared node.
+        self.remap = make_remap(config.dense_ids)
         self.memory: Set = set()  # every tree ever built (edge-set handles)
         self.trees_containing: Dict[int, List[_BFTTree]] = {}
         self.queue: deque = deque()
@@ -155,8 +162,9 @@ class _BFTRun:
         if any(not seed_set for seed_set in self.explicit_sets):
             return
         pool = self.pool
+        remap_bit = self.remap.bit
         for node, mask in self.seed_mask.items():
-            tree = _BFTTree(pool, pool.EMPTY, frozenset((node,)), 1 << node, mask, 0.0)
+            tree = _BFTTree(pool, pool.EMPTY, frozenset((node,)), remap_bit(node), mask, 0.0)
             self.stats.init_trees += 1
             self._process(tree, allow_merge=False)
 
@@ -168,6 +176,7 @@ class _BFTRun:
         pool = self.pool
         memory = self.memory
         stats = self.stats
+        remap_bit = self.remap.bit
         allow_merge = self.algo.merge_mode != "none"
         while self.queue:
             if self.deadline.expired():
@@ -194,7 +203,7 @@ class _BFTRun:
                         pool,
                         eset,
                         nodes | {other},
-                        tree.node_mask | (1 << other),
+                        tree.node_mask | remap_bit(other),
                         sat | other_mask,
                         tree.weight + graph.edge_weight(edge_id),
                     )
@@ -244,7 +253,9 @@ class _BFTRun:
                 # popcount-1 test, no set intersection built.
                 if not common_mask or common_mask & (common_mask - 1):
                     continue
-                shared = common_mask.bit_length() - 1
+                # The lone set bit names the shared node in the search's id
+                # space; the remap inverse takes it back to the global id.
+                shared = self.remap.node(common_mask.bit_length() - 1)
                 if (t1.sat & tp.sat) & ~self.seed_mask.get(shared, 0):  # Merge2
                     continue
                 if max_edges is not None and t1_size + tp.size > max_edges:
@@ -284,16 +295,17 @@ class _BFTRun:
             self.stats.pruned_filters += 1
             return
         self.result_keys.add(edges)
-        seeds: List[Optional[int]] = [None] * len(self.positions)
-        for node in nodes:
-            mask = self.seed_mask.get(node, 0) & tree.sat
-            for bit in range(len(self.explicit_sets)):
-                if mask & (1 << bit):
-                    seeds[self.explicit_positions[bit]] = node
+        seeds = materialize_seeds(
+            len(self.positions),
+            self.explicit_positions,
+            self.seed_mask,
+            nodes,
+            tree.sat,
+        )
         score = None
         if self.config.score is not None:
             score = self.config.score(self.graph, edges, nodes)
-        self.results.append(ResultTree(edges=edges, nodes=nodes, seeds=tuple(seeds), weight=weight, score=score))
+        self.results.append(ResultTree(edges=edges, nodes=nodes, seeds=seeds, weight=weight, score=score))
         self.stats.results_found += 1
         if self.config.limit is not None and self.stats.results_found >= self.config.limit:
             raise _StopSearch()

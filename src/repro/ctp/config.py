@@ -102,6 +102,16 @@ class SearchConfig:
         seed frozenset representation — same results, slower history checks;
         kept as the baseline of ``python -m repro.bench interning`` and the
         equivalence suite.
+    dense_ids:
+        Use the dense per-search node-id space (:mod:`repro.ctp.idremap`;
+        default): node bitmasks are sized by |nodes touched by this
+        search| instead of the graph's largest node id, and the interning
+        pool spills its hot maps to flat-array storage.  The million-node
+        enabler — on large (or sparse-hugely-numbered) graphs the legacy
+        masks are the dominant memory and Merge1 cost.  ``False`` restores
+        the legacy global-id masks and dict-based pool as the A/B baseline
+        of ``python -m repro.bench scale``.  Representation-only: rows are
+        bit-identical either way (``tests/test_dense_ids.py``).
     strict_merge2 (ablation):
         Use the *literal* Merge2 of Section 4.2 — ``sat(t1) ∩ sat(t2) = ∅``
         — instead of the relaxed reading this library argues for (overlap
@@ -168,6 +178,7 @@ class SearchConfig:
     max_trees: Optional[int] = None
     backend: str = "auto"
     interning: bool = True
+    dense_ids: bool = True
     strict_merge2: bool = False
     mo_inject_always: bool = False
     shared_context: bool = True
@@ -199,6 +210,11 @@ class SearchConfig:
             raise ConfigError(
                 f"unknown parallelism_mode {self.parallelism_mode!r} "
                 f"(use one of {', '.join(PARALLELISM_MODES)})"
+            )
+        if not isinstance(self.dense_ids, bool):
+            raise ConfigError(
+                f"dense_ids must be a bool (dense per-search node ids on/off), "
+                f"got {self.dense_ids!r}"
             )
         if not isinstance(self.scheduling, bool):
             raise ConfigError(

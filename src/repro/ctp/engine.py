@@ -38,6 +38,12 @@ Faithfulness notes (also summarized in DESIGN.md §1.3):
 Performance: tree state is *interned* (:mod:`repro.ctp.interning`) — edge
 sets are hash-consed handles, node sets carry exact bitmasks, merge
 partners are bucketed by sat mask, and balanced pops use a lazy size heap.
+Node bitmasks live in a dense per-search id space
+(:mod:`repro.ctp.idremap`, ``SearchConfig(dense_ids=True)``): masks are
+sized by |nodes this search touched| instead of the graph's largest node
+id, which is what makes million-node (and sparse-huge-id) graphs viable;
+``dense_ids=False`` restores the legacy global-id masks as the A/B
+baseline of ``python -m repro.bench scale``.
 Both the UNI filter and the Algorithm 4 history check run *before* a
 grown/merged tree is constructed, so pruned candidates cost a few int
 lookups and no allocation.  ``SearchConfig(interning=False)`` restores the
@@ -55,8 +61,9 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro._util import Counter, Deadline, full_mask, popcount
 from repro.ctp.config import DEFAULT_CONFIG, WILDCARD, SearchConfig
+from repro.ctp.idremap import make_remap
 from repro.ctp.interning import SearchContext, adopt_pool, pool_stats_delta
-from repro.ctp.results import CTPResultSet, ResultTree
+from repro.ctp.results import CTPResultSet, ResultTree, materialize_seeds
 from repro.ctp.stats import SearchStats
 from repro.ctp.tree import (
     SearchTree,
@@ -187,7 +194,13 @@ class _GAMRun:
         # A query-scoped context supplies a pool shared by all the query's
         # CTP runs (handles stay comparable across runs); refusals — graph
         # or interning mismatch — silently fall back to a private pool.
-        self.pool, self.context, self._pool_baseline = adopt_pool(context, graph, config.interning)
+        self.pool, self.context, self._pool_baseline = adopt_pool(
+            context, graph, config.interning, config.dense_ids
+        )
+        # Dense per-search node identity (repro.ctp.idremap): node-mask
+        # bits are compact first-touch indexes, so masks scale with the
+        # frontier, not with max(node_id).  Strictly run-local state.
+        self.remap = make_remap(config.dense_ids)
         # Rooted-cache fingerprint: config identity plus the graph's size
         # (append-only graphs invalidate cached payloads by growing).
         self._cfg_fp = None
@@ -280,8 +293,9 @@ class _GAMRun:
         if any(not seed_set for seed_set in self.explicit_sets):
             return  # an empty seed set has no embeddings, hence no results
         uni = self.config.uni
+        remap_bit = self.remap.bit
         for node, mask in self.seed_mask.items():
-            tree = make_init(self.pool, node, mask, uni)
+            tree = make_init(self.pool, node, mask, uni, node_bit=remap_bit(node))
             self.stats.init_trees += 1
             self.ss[node] = self.ss.get(node, 0) | mask
             work = self._absorb(tree, gained=True)
@@ -296,6 +310,7 @@ class _GAMRun:
         pool = self.pool
         stats = self.stats
         ss = self.ss
+        remap_bit = self.remap.bit
         while self.total_queued:
             if deadline.expired():
                 raise _StopSearch(timed_out=True)
@@ -333,6 +348,7 @@ class _GAMRun:
                 uni,
                 eset=eset,
                 uni_state=uni_state,
+                node_bit=remap_bit(other),
             )
             work = self._absorb(grown, gained=grown.sat != tree.sat)
             if work:
@@ -573,7 +589,9 @@ class _GAMRun:
             length = len(partners)
             node_mask = t1.node_mask
             root = t1.root
-            root_bit = 1 << root
+            # The root is always already in the remap (it entered as an
+            # Init seed or a Grow frontier node), so this is a dict hit.
+            root_bit = self.remap.bit(root)
             t1_eset = t1.eset
             t1_size = t1.size
             for i in range(length):
@@ -628,16 +646,15 @@ class _GAMRun:
             self.stats.duplicate_results += 1
             return
         self.result_keys.add(tree.eset)
-        seeds: List[Optional[int]] = [None] * len(self.positions)
-        for position in self.wildcard_positions:
-            # The N match is the tree's only possibly-non-seed leaf: the root.
-            seeds[position] = tree.root
-        for node in tree.nodes:
-            mask = self.seed_mask.get(node, 0) & tree.sat
-            if mask:
-                for bit in range(len(self.explicit_sets)):
-                    if mask & (1 << bit):
-                        seeds[self.explicit_positions[bit]] = node
+        seeds = materialize_seeds(
+            len(self.positions),
+            self.explicit_positions,
+            self.seed_mask,
+            tree.nodes,
+            tree.sat,
+            wildcard_positions=self.wildcard_positions,
+            root=tree.root,  # the N match: the only possibly-non-seed leaf
+        )
         # The per-root result cache of the query context: a sibling CTP (or
         # an earlier run of this one) that reported the same rooted tree
         # under the same config fingerprint already materialized edge/node
@@ -659,7 +676,7 @@ class _GAMRun:
                 score = self.config.score(self.graph, edges, nodes)
             if cache_key is not None:
                 context.rooted_cache.put(cache_key, (edges, nodes, score))
-        self.results.append(ResultTree(edges=edges, nodes=nodes, seeds=tuple(seeds), weight=tree.weight, score=score))
+        self.results.append(ResultTree(edges=edges, nodes=nodes, seeds=seeds, weight=tree.weight, score=score))
         self.stats.results_found += 1
         if self.config.limit is not None and self.stats.results_found >= self.config.limit:
             raise _StopSearch()

@@ -31,6 +31,15 @@ different pools are unrelated (see the isolation property tests).  The
 truthiness, so engine code can say ``if tree.eset:`` under either
 representation.
 
+:class:`FlatEdgeSetPool` (the ``SearchConfig(dense_ids=True)`` default)
+keeps the same handles and counters but moves the pool's hot maps —
+``_by_key`` and both union memos — into flat open-addressed ``array``
+tables (:class:`_FpTable` / :class:`_IntTable`): at million-node scale the
+dict pools spend ~100 bytes of boxed-int entry per memo, and the flat
+lanes collapse that to 16 bytes per slot of contiguous storage.  Handle
+numbering is identical to the dict pool for any operation sequence, so
+dense and legacy searches stay bit-identical.
+
 :class:`FrozenEdgeSets` is the identity-shim counterpart used when
 ``SearchConfig(interning=False)``: handles *are* frozensets and every
 operation is the seed implementation's frozenset arithmetic.  It exists so
@@ -66,6 +75,7 @@ from __future__ import annotations
 
 import sys
 import threading
+from array import array
 from collections import OrderedDict
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
@@ -453,6 +463,427 @@ class ShardedEdgeSetPool(EdgeSetPool):
         return out
 
 
+#: Empty-slot byte pattern: an ``array('q')`` of -1s marks every slot free
+#: (keys/handles are always >= 0, so -1 can never collide with a live entry;
+#: 0 cannot serve as the marker because key 0 and handle 0 are both legal).
+def _minus_ones(capacity: int) -> array:
+    return array("q", b"\xff" * (8 * capacity))
+
+
+class _IntTable:
+    """Flat open-addressed int→int map: the pool's memo lanes.
+
+    Two parallel ``array('q')`` lanes (keys / values) with linear probing —
+    the cache-dense replacement for the ``_union1``/``_union2`` dicts,
+    whose boxed-int entries scatter ~100 bytes per memo across the heap.
+    Slot choice is Fibonacci hashing folded over both halves of the packed
+    64-bit key (``set_id << 32 | operand``): consecutive handle/edge pairs
+    land on unrelated slots instead of clustering a linear-probe run.
+
+    Writes publish value-before-key so a lock-free reader (the sharded
+    pool's memo-hit fast path) either misses a half-written entry or sees
+    it complete; growth builds a whole new table for the owner to swap in
+    one reference assignment.  ``put`` assumes a free slot exists — owners
+    grow at 3/4 load *before* inserting.
+    """
+
+    __slots__ = ("keys", "vals", "mask", "filled", "limit")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        # capacity must be a power of two (mask-wrapped probing).
+        self.keys = _minus_ones(capacity)
+        self.vals = array("q", bytes(8 * capacity))
+        self.mask = capacity - 1
+        self.filled = 0
+        self.limit = capacity - (capacity >> 2)
+
+    def get(self, key: int) -> int:
+        """The stored value, or -1 (values are handles, always >= 0)."""
+        keys = self.keys
+        mask = self.mask
+        h = (key * 0x9E3779B97F4A7C15) & _MASK64
+        slot = (h ^ (h >> 32)) & mask
+        while True:
+            k = keys[slot]
+            if k == key:
+                return self.vals[slot]
+            if k == -1:
+                return -1
+            slot = (slot + 1) & mask
+
+    def put(self, key: int, val: int) -> None:
+        keys = self.keys
+        mask = self.mask
+        h = (key * 0x9E3779B97F4A7C15) & _MASK64
+        slot = (h ^ (h >> 32)) & mask
+        while True:
+            k = keys[slot]
+            if k == -1:
+                self.vals[slot] = val
+                keys[slot] = key  # publish after the value is in place
+                self.filled += 1
+                return
+            if k == key:
+                self.vals[slot] = val
+                return
+            slot = (slot + 1) & mask
+
+    def grown(self) -> "_IntTable":
+        new = _IntTable(2 * (self.mask + 1))
+        keys = self.keys
+        vals = self.vals
+        for slot, k in enumerate(keys):
+            if k != -1:
+                new.put(k, vals[slot])
+        return new
+
+
+class _FpTable:
+    """Flat open-addressed fingerprint→handle *multimap*: ``_by_key`` flattened.
+
+    Parallel ``array('Q')`` fingerprints and ``array('q')`` handles.  Unlike
+    the dict, colliding sets (same fingerprint — or same fingerprint and
+    size) are not chained in a side list: they simply occupy successive
+    probe slots, and a lookup walks **every** slot whose fingerprint
+    matches until the probe run ends, exactly verifying each candidate
+    against the caller's set — the dict pool's exact-verification fallback,
+    preserved slot by slot.  Fingerprints are splitmix64 XORs (uniform), so
+    the raw fingerprint is its own hash.
+
+    Writes publish fingerprint-before-handle (a probe only considers slots
+    with ``handle >= 0``); occupancy is monotone (no deletions), so a
+    lock-free probe that ends at a free slot has seen every published entry
+    of its fingerprint.
+    """
+
+    __slots__ = ("fps", "ids", "mask", "filled", "limit")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.fps = array("Q", bytes(8 * capacity))
+        self.ids = _minus_ones(capacity)
+        self.mask = capacity - 1
+        self.filled = 0
+        self.limit = capacity - (capacity >> 2)
+
+    def insert(self, fp: int, set_id: int) -> None:
+        """File ``fp -> set_id`` in the first free probe slot (no growth)."""
+        fps = self.fps
+        ids = self.ids
+        mask = self.mask
+        slot = fp & mask
+        while ids[slot] >= 0:
+            slot = (slot + 1) & mask
+        fps[slot] = fp
+        ids[slot] = set_id  # publish after the fingerprint is in place
+        self.filled += 1
+
+    def grown(self) -> "_FpTable":
+        new = _FpTable(2 * (self.mask + 1))
+        fps = self.fps
+        ids = self.ids
+        for slot, sid in enumerate(ids):
+            if sid >= 0:
+                new.insert(fps[slot], sid)
+        return new
+
+
+class FlatEdgeSetPool(EdgeSetPool):
+    """An :class:`EdgeSetPool` whose hot maps live in flat arrays.
+
+    Same handles, same counters, same exact-interning guarantees — given
+    one operation sequence this pool assigns the identical handle numbering
+    and hit/miss/collision counts as the dict pool, so searches over either
+    are bit-identical.  What changes is the storage: the ``_by_key`` dict
+    becomes an open-addressed fingerprint table (:class:`_FpTable`) and the
+    two union memos become flat int lanes (:class:`_IntTable`) — contiguous
+    ``array`` storage instead of one boxed-int dict entry per memo, which
+    is what keeps the pool's footprint sane when a million-node search
+    interns hundreds of thousands of sets.  Selected by
+    ``SearchConfig(dense_ids=True)`` (the default); the dict pool remains
+    the ``dense_ids=False`` A/B baseline.
+    """
+
+    __slots__ = ("_fp_t", "_u1", "_u2")
+
+    def __init__(self) -> None:
+        super().__init__()
+        # The dict maps are dead weight here; None them so any base-class
+        # path that was missed fails loudly instead of diverging silently.
+        self._by_key = None
+        self._union1 = None
+        self._union2 = None
+        self._fp_t = _FpTable()
+        self._fp_t.insert(0, 0)  # the EMPTY record (fp 0, handle 0)
+        self._u1 = _IntTable()
+        self._u2 = _IntTable()
+
+    @property
+    def union_misses(self) -> int:
+        """Memo misses = memo entries filed, as in the dict pool."""
+        return self._u1.filled + self._u2.filled
+
+    # -- flat-table plumbing -------------------------------------------
+    def _insert_fp(self, fp: int, set_id: int) -> None:
+        t = self._fp_t
+        if t.filled >= t.limit:
+            self._fp_t = t = t.grown()
+        t.insert(fp, set_id)
+
+    def _u1_put(self, key: int, val: int) -> None:
+        t = self._u1
+        if t.filled >= t.limit:
+            self._u1 = t = t.grown()
+        t.put(key, val)
+
+    def _u2_put(self, key: int, val: int) -> None:
+        t = self._u2
+        if t.filled >= t.limit:
+            self._u2 = t = t.grown()
+        t.put(key, val)
+
+    # -- interning over the fingerprint table --------------------------
+    def _intern(self, edges: FrozenSet[int], fp: int, size: int) -> int:
+        t = self._fp_t
+        fps = t.fps
+        ids = t.ids
+        mask = t.mask
+        recs = self._recs
+        slot = fp & mask
+        bucket_seen = False
+        while True:
+            sid = ids[slot]
+            if sid < 0:
+                break
+            if fps[slot] == fp:
+                rec = recs[sid]
+                if rec[2] == size:
+                    if rec[0] == edges:
+                        return sid
+                    bucket_seen = True  # same (fp, size), different set
+            slot = (slot + 1) & mask
+        if bucket_seen:
+            self.collisions += 1
+        set_id = self._new_id(edges, fp, size)
+        self._insert_fp(fp, set_id)
+        return set_id
+
+    def _union1_slow(self, base: FrozenSet[int], edge_id: int, fp: int, size: int) -> int:
+        """Find-or-create ``base | {edge_id}`` by fingerprint (memo missed).
+
+        Candidate verification is the dict pool's, with the bucket's size
+        component checked explicitly (the dict packed it into the key):
+        ``|c| = |base|+1 ∧ e ∈ c ∧ base ⊆ c ⟹ c = base ∪ {e}``.
+        """
+        t = self._fp_t
+        fps = t.fps
+        ids = t.ids
+        mask = t.mask
+        recs = self._recs
+        slot = fp & mask
+        bucket_seen = False
+        while True:
+            sid = ids[slot]
+            if sid < 0:
+                break
+            if fps[slot] == fp:
+                rec = recs[sid]
+                if rec[2] == size:
+                    candidate = rec[0]
+                    if edge_id in candidate and base <= candidate:
+                        return sid
+                    bucket_seen = True
+            slot = (slot + 1) & mask
+        if bucket_seen:
+            self.collisions += 1
+        set_id = self._new_id(base | {edge_id}, fp, size)
+        self._insert_fp(fp, set_id)
+        return set_id
+
+    def _union2_slow(self, a: FrozenSet[int], b: FrozenSet[int], fp: int, size: int) -> int:
+        """Find-or-create the disjoint union ``a | b`` by fingerprint."""
+        t = self._fp_t
+        fps = t.fps
+        ids = t.ids
+        mask = t.mask
+        recs = self._recs
+        slot = fp & mask
+        bucket_seen = False
+        while True:
+            sid = ids[slot]
+            if sid < 0:
+                break
+            if fps[slot] == fp:
+                rec = recs[sid]
+                if rec[2] == size:
+                    candidate = rec[0]
+                    if a <= candidate and b <= candidate:
+                        return sid
+                    bucket_seen = True
+            slot = (slot + 1) & mask
+        if bucket_seen:
+            self.collisions += 1
+        set_id = self._new_id(a | b, fp, size)
+        self._insert_fp(fp, set_id)
+        return set_id
+
+    # -- memoized constructors -----------------------------------------
+    def union1(self, set_id: int, edge_id: int) -> int:
+        key = (set_id << self._SHIFT) | edge_id
+        out = self._u1.get(key)
+        if out >= 0:
+            self.union_hits += 1
+            return out
+        base, base_fp, base_size = self._recs[set_id]
+        if edge_id in base:
+            self._u1_put(key, set_id)
+            return set_id
+        fp = base_fp ^ self._code(edge_id)
+        out = self._union1_slow(base, edge_id, fp, base_size + 1)
+        self._u1_put(key, out)
+        return out
+
+    def union2(self, id1: int, id2: int) -> int:
+        if id1 == id2:
+            return id1
+        if id1 > id2:
+            id1, id2 = id2, id1
+        if not id1:
+            return id2
+        key = (id1 << self._SHIFT) | id2
+        out = self._u2.get(key)
+        if out >= 0:
+            self.union_hits += 1
+            return out
+        recs = self._recs
+        a, a_fp, a_size = recs[id1]
+        b, b_fp, b_size = recs[id2]
+        if a.isdisjoint(b):
+            out = self._union2_slow(a, b, a_fp ^ b_fp, a_size + b_size)
+        else:
+            edges = a | b
+            fp = a_fp ^ b_fp
+            for edge_id in a & b:
+                fp ^= self._code(edge_id)
+            out = self._intern(edges, fp, len(edges))
+        self._u2_put(key, out)
+        return out
+
+
+class ShardedFlatEdgeSetPool(FlatEdgeSetPool):
+    """The thread-safe :class:`FlatEdgeSetPool` — flat storage under the
+    sharded pool's locking discipline.
+
+    The *decision* "no equal set exists, allocate a handle" is serialized
+    per fingerprint shard exactly as in :class:`ShardedEdgeSetPool` (equal
+    sets have equal fingerprints, so same-set racers share a shard lock).
+    What flat storage adds is that the physical structures are shared
+    arrays, so every **mutation** — fingerprint-table insert, memo put,
+    growth — additionally funnels through one table lock (writes are
+    miss-path-only, so this lock sees a small fraction of traffic).
+    Readers stay lock-free: they snapshot the table object once (growth
+    swaps in a whole new table, never mutates a published one), probes see
+    entries only after their value-before-key publication completes, and
+    occupancy is monotone — a probe ending at a free slot has seen every
+    published entry of its fingerprint.  A racing reader that misses an
+    in-flight entry simply falls to the locked slow path and re-resolves.
+
+    Shard-probe staleness is harmless for correctness for the same reason
+    it is in the dict pool: only same-fingerprint inserts could invalidate
+    a "not found" decision, and those are serialized by the shard lock.
+    """
+
+    NUM_SHARDS = 16
+
+    __slots__ = ("_shard_locks", "_alloc_lock", "_zobrist_lock", "_table_lock")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shard_locks = [threading.Lock() for _ in range(self.NUM_SHARDS)]
+        self._alloc_lock = threading.Lock()
+        self._zobrist_lock = threading.Lock()
+        self._table_lock = threading.Lock()
+
+    # -- locked primitives ---------------------------------------------
+    def _new_id(self, edges: FrozenSet[int], fp: int, size: int) -> int:
+        with self._alloc_lock:
+            return EdgeSetPool._new_id(self, edges, fp, size)
+
+    def _code(self, edge_id: int) -> int:
+        codes = self._zobrist
+        if edge_id < len(codes):
+            return codes[edge_id]
+        with self._zobrist_lock:
+            if edge_id >= len(self._zobrist):
+                EdgeSetPool._code(self, edge_id)
+        return self._zobrist[edge_id]
+
+    def _insert_fp(self, fp: int, set_id: int) -> None:
+        with self._table_lock:
+            super()._insert_fp(fp, set_id)
+
+    def _u1_put(self, key: int, val: int) -> None:
+        with self._table_lock:
+            super()._u1_put(key, val)
+
+    def _u2_put(self, key: int, val: int) -> None:
+        with self._table_lock:
+            super()._u2_put(key, val)
+
+    # -- sharded constructors ------------------------------------------
+    def intern(self, edge_ids: Iterable[int]) -> int:
+        edges = frozenset(edge_ids)
+        fp = 0
+        for edge_id in edges:
+            fp ^= self._code(edge_id)
+        with self._shard_locks[fp & (self.NUM_SHARDS - 1)]:
+            return self._intern(edges, fp, len(edges))
+
+    def union1(self, set_id: int, edge_id: int) -> int:
+        key = (set_id << self._SHIFT) | edge_id
+        out = self._u1.get(key)
+        if out >= 0:
+            self.union_hits += 1
+            return out
+        base, base_fp, base_size = self._recs[set_id]
+        if edge_id in base:
+            self._u1_put(key, set_id)
+            return set_id
+        fp = base_fp ^ self._code(edge_id)
+        with self._shard_locks[fp & (self.NUM_SHARDS - 1)]:
+            out = self._union1_slow(base, edge_id, fp, base_size + 1)
+        self._u1_put(key, out)
+        return out
+
+    def union2(self, id1: int, id2: int) -> int:
+        if id1 == id2:
+            return id1
+        if id1 > id2:
+            id1, id2 = id2, id1
+        if not id1:
+            return id2
+        key = (id1 << self._SHIFT) | id2
+        out = self._u2.get(key)
+        if out >= 0:
+            self.union_hits += 1
+            return out
+        recs = self._recs
+        a, a_fp, a_size = recs[id1]
+        b, b_fp, b_size = recs[id2]
+        if a.isdisjoint(b):
+            fp = a_fp ^ b_fp
+            with self._shard_locks[fp & (self.NUM_SHARDS - 1)]:
+                out = self._union2_slow(a, b, fp, a_size + b_size)
+        else:
+            edges = a | b
+            fp = a_fp ^ b_fp
+            for edge_id in a & b:
+                fp ^= self._code(edge_id)
+            with self._shard_locks[fp & (self.NUM_SHARDS - 1)]:
+                out = self._intern(edges, fp, len(edges))
+        self._u2_put(key, out)
+        return out
+
+
 class FrozenEdgeSets:
     """The identity pool: handles *are* frozensets (the seed representation).
 
@@ -490,11 +921,17 @@ class FrozenEdgeSets:
         return id1 | id2
 
 
-def make_pool(interning: bool, thread_safe: bool = False):
+def make_pool(interning: bool, thread_safe: bool = False, dense_ids: bool = True):
     """The pool implementation for a run: interned (sharded when shared
-    across threads) or the frozenset fallback (inherently shareable)."""
+    across threads) or the frozenset fallback (inherently shareable).
+
+    ``dense_ids`` picks the flat-array pool storage (the default); the dict
+    pools remain the ``dense_ids=False`` A/B baseline.  Both assign the
+    same handle numbering for a given operation sequence."""
     if not interning:
         return FrozenEdgeSets()
+    if dense_ids:
+        return ShardedFlatEdgeSetPool() if thread_safe else FlatEdgeSetPool()
     return ShardedEdgeSetPool() if thread_safe else EdgeSetPool()
 
 
@@ -720,6 +1157,7 @@ class SearchContext:
 
     __slots__ = (
         "interning",
+        "dense_ids",
         "thread_safe",
         "pool",
         "rooted_cache",
@@ -741,10 +1179,12 @@ class SearchContext:
         thread_safe: bool = False,
         ctp_cache_bytes: Optional[int] = None,
         rooted_cache_bytes: Optional[int] = None,
+        dense_ids: bool = True,
     ):
         self.interning = interning
+        self.dense_ids = dense_ids
         self.thread_safe = thread_safe
-        self.pool = make_pool(interning, thread_safe)
+        self.pool = make_pool(interning, thread_safe, dense_ids)
         self.rooted_cache = ResultCache(
             rooted_cache_size, max_bytes=rooted_cache_bytes, thread_safe=thread_safe
         )
@@ -760,24 +1200,25 @@ class SearchContext:
         self._adopt_lock = threading.Lock() if thread_safe else None
 
     # ------------------------------------------------------------------
-    def adopt(self, graph, interning: bool):
+    def adopt(self, graph, interning: bool, dense_ids: bool = True):
         """The shared pool for an engine run, or ``None`` to refuse.
 
         ``graph`` must be the run's *resolved* backend graph: handles and
         cached payloads reference edge ids of exactly one graph, so the
         context binds itself to the first graph it sees and refuses any
-        other (and any run whose interning mode differs from the pool's).
+        other (and any run whose interning or dense-ids mode differs from
+        the pool's — the pool's physical storage is one or the other).
         Under ``thread_safe`` the first-graph binding is serialized so two
         concurrent first adoptions cannot both bind.
         """
         lock = self._adopt_lock
         if lock is None:
-            return self._adopt(graph, interning)
+            return self._adopt(graph, interning, dense_ids)
         with lock:
-            return self._adopt(graph, interning)
+            return self._adopt(graph, interning, dense_ids)
 
-    def _adopt(self, graph, interning: bool):
-        if interning != self.interning:
+    def _adopt(self, graph, interning: bool, dense_ids: bool):
+        if interning != self.interning or dense_ids != self.dense_ids:
             self.rejects += 1
             return None
         if self._graph is None:
@@ -847,6 +1288,7 @@ class SearchContext:
             config.interning,
             config.strict_merge2,
             config.mo_inject_always,
+            config.dense_ids,
         )
 
     # ------------------------------------------------------------------
@@ -888,7 +1330,7 @@ class SearchContext:
         }
 
 
-def adopt_pool(context: Optional[SearchContext], graph, interning: bool):
+def adopt_pool(context: Optional[SearchContext], graph, interning: bool, dense_ids: bool = True):
     """Shared pool adoption for an engine run.
 
     Returns ``(pool, adopted_context, baseline)``: the pool to use (the
@@ -898,9 +1340,9 @@ def adopt_pool(context: Optional[SearchContext], graph, interning: bool):
     the shared pool's current state, or zeros for a private pool so the
     per-run stats keep the seed semantics (absolute values).
     """
-    pool = context.adopt(graph, interning) if context is not None else None
+    pool = context.adopt(graph, interning, dense_ids) if context is not None else None
     if pool is None:
-        return make_pool(interning), None, (0, 0, 0)
+        return make_pool(interning, dense_ids=dense_ids), None, (0, 0, 0)
     return pool, context, (len(pool), pool.union_hits, pool.union_misses)
 
 

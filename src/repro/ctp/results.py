@@ -77,6 +77,38 @@ class CTPResultSet:
         return sorted(self.results, key=lambda r: (-(r.score or 0.0), r.size))
 
 
+def materialize_seeds(
+    num_positions: int,
+    explicit_positions: Sequence[int],
+    seed_mask: Dict[int, int],
+    nodes: FrozenSet[int],
+    sat: int,
+    wildcard_positions: Sequence[int] = (),
+    root: Optional[int] = None,
+) -> Tuple[Optional[int], ...]:
+    """The per-position seed tuple of a covering tree (Definition 2.8).
+
+    Shared by the GAM-family and BFT reporters: walks the tree's (global-id)
+    node set and assigns, for every sat bit the tree realizes, the matching
+    node to that seed set's original query position.  Wildcard positions are
+    bound to ``root`` — the tree's only possibly-non-seed leaf (Section
+    4.9).  Deliberately iterates ``nodes`` in its native order so dense-id
+    and legacy runs (which share the identical frozenset) produce
+    bit-identical seed tuples.
+    """
+    seeds: List[Optional[int]] = [None] * num_positions
+    for position in wildcard_positions:
+        seeds[position] = root
+    num_bits = len(explicit_positions)
+    for node in nodes:
+        mask = seed_mask.get(node, 0) & sat
+        if mask:
+            for bit in range(num_bits):
+                if mask & (1 << bit):
+                    seeds[explicit_positions[bit]] = node
+    return tuple(seeds)
+
+
 def tree_leaves(graph: Graph, edges: FrozenSet[int]) -> List[int]:
     """Nodes adjacent to exactly one edge of ``edges`` (Observation 1)."""
     edge_endpoints = graph.edge_endpoints

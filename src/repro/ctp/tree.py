@@ -13,15 +13,15 @@ family needs in its hot path:
     frozenset (free: the pool stores it interned);
 
 ``node_mask``
-    the node set as an exact bitmask (bit ``n`` set iff node ``n`` is in
-    the tree).  Merge1 — "the trees share exactly their root" — becomes
-    ``t1.node_mask & t2.node_mask == 1 << root``, a big-int test that
-    rejects incompatible partners before any set is built.  The mask is
-    sized by the largest node id in the tree (Python big-int words), so
-    the test is O(max_id/64) rather than truly O(1): cheap and
-    allocation-free up to ~10^5-node graphs, but a dense node-id remap or
-    hashed fingerprint should replace it before million-node graphs (see
-    ROADMAP);
+    the node set as an exact bitmask.  Merge1 — "the trees share exactly
+    their root" — becomes ``t1.node_mask & t2.node_mask == root_bit``, a
+    big-int test that rejects incompatible partners before any set is
+    built.  Which bit a node occupies is the *engine's* unit of account
+    (:mod:`repro.ctp.idremap`): under ``dense_ids`` (default) the engine
+    passes ``node_bit`` from its search-local remap, so masks are sized
+    by |nodes touched|; under the legacy representation bit ``n`` is
+    global node id ``n`` and the mask is sized by the largest id in the
+    tree — O(max_id/64) per test, the pre-million-node behaviour;
 
 ``sat``
     bitmask of the seed sets satisfied by the tree (Observation 1);
@@ -130,14 +130,18 @@ class SearchTree:
         )
 
 
-def make_init(pool, node: int, sat: int, uni: bool) -> SearchTree:
-    """``Init(n)`` — a one-node tree for a seed (Definition 4.1 case 1)."""
+def make_init(pool, node: int, sat: int, uni: bool, node_bit: Optional[int] = None) -> SearchTree:
+    """``Init(n)`` — a one-node tree for a seed (Definition 4.1 case 1).
+
+    ``node_bit`` is the node's mask bit under the engine's id remap
+    (:mod:`repro.ctp.idremap`); omitted, the legacy global-id bit is used.
+    """
     return SearchTree(
         pool=pool,
         root=node,
         eset=pool.EMPTY,
         nodes=frozenset((node,)),
-        node_mask=1 << node,
+        node_mask=node_bit if node_bit is not None else 1 << node,
         sat=sat,
         weight=0.0,
         kind=INIT,
@@ -196,6 +200,7 @@ def make_grow(
     uni: bool,
     eset=None,
     uni_state: Optional[Tuple[Optional[int], int]] = None,
+    node_bit: Optional[int] = None,
 ) -> Optional[SearchTree]:
     """``Grow(t, e)`` — extend ``tree`` from its root along ``edge_id``.
 
@@ -205,6 +210,8 @@ def make_grow(
     may carry the already-computed edge-set handle and
     :func:`uni_grow_state` result (the engine derives both for its
     pre-construction pruning); otherwise they are derived here.
+    ``node_bit`` is ``new_root``'s mask bit under the engine's id remap
+    (:mod:`repro.ctp.idremap`); omitted, the legacy global-id bit is used.
     """
     if uni:
         state = uni_state if uni_state is not None else uni_grow_state(tree, new_root, outgoing)
@@ -226,7 +233,7 @@ def make_grow(
         root=new_root,
         eset=eset if eset is not None else pool.union1(tree.eset, edge_id),
         nodes=tree.nodes | {new_root},
-        node_mask=tree.node_mask | (1 << new_root),
+        node_mask=tree.node_mask | (node_bit if node_bit is not None else 1 << new_root),
         sat=tree.sat | new_root_sat,
         weight=tree.weight + edge_weight,
         kind=GROW,

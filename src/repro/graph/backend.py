@@ -30,6 +30,7 @@ property tests).
 from __future__ import annotations
 
 from array import array
+from collections import OrderedDict
 from typing import (
     Any,
     Callable,
@@ -200,12 +201,27 @@ class CSRGraph:
         self.snapshot_path: Optional[str] = None
         self._reset_caches()
 
+    #: Above this node count the per-node view caches switch from dense
+    #: ``[None] * num_nodes`` lists (fastest lookups, but ~8 bytes per node
+    #: up front — 8MB of pointers per cache at 10^6 nodes, paid even by a
+    #: search that touches a few thousand nodes) to plain dicts holding only
+    #: the nodes actually expanded.
+    _LAZY_CACHE_THRESHOLD = 1 << 17
+    #: Entry cap of the label-filtered adjacency cache.  Its key space is
+    #: nodes x label-sets — unbounded on a big graph under a long-lived
+    #: server — so it evicts least-recently-used beyond this.
+    _FILTERED_CACHE_CAP = 4096
+
     def _reset_caches(self) -> None:
         """(Re)initialize the lazy per-node view caches."""
         num_nodes = self._num_nodes
-        self._adj_cache: List[Optional[Tuple[AdjacencyEntry, ...]]] = [None] * num_nodes
-        self._neighbor_cache: List[Optional[Tuple[int, ...]]] = [None] * num_nodes
-        self._filtered_cache: Dict[Tuple[int, FrozenSet[str]], Tuple[AdjacencyEntry, ...]] = {}
+        if num_nodes > self._LAZY_CACHE_THRESHOLD:
+            self._adj_cache: Any = {}
+            self._neighbor_cache: Any = {}
+        else:
+            self._adj_cache = [None] * num_nodes
+            self._neighbor_cache = [None] * num_nodes
+        self._filtered_cache: "OrderedDict[Tuple[int, FrozenSet[str]], Tuple[AdjacencyEntry, ...]]" = OrderedDict()
 
     @classmethod
     def _from_columns(
@@ -404,7 +420,8 @@ class CSRGraph:
     # ------------------------------------------------------------------
     def adjacent(self, node_id: int) -> Tuple[AdjacencyEntry, ...]:
         """All incident edges of ``node_id`` as ``(edge_id, other, outgoing)``."""
-        cached = self._adj_cache[node_id]
+        cache = self._adj_cache
+        cached = cache.get(node_id) if type(cache) is dict else cache[node_id]
         if cached is None:
             start, end = self._offsets[node_id], self._offsets[node_id + 1]
             cached = tuple(
@@ -414,7 +431,7 @@ class CSRGraph:
                     map(bool, self._adj_out[start:end]),
                 )
             )
-            self._adj_cache[node_id] = cached
+            cache[node_id] = cached
         return cached
 
     def adjacent_filtered(
@@ -426,14 +443,19 @@ class CSRGraph:
         if not isinstance(labels, frozenset):
             labels = frozenset(labels)  # cache key; dict backend takes any iterable
         key = (node_id, labels)
-        cached = self._filtered_cache.get(key)
+        cache = self._filtered_cache
+        cached = cache.get(key)
         if cached is None:
             label_ids = self._edge_label_ids
             names = self._label_names
             cached = tuple(
                 entry for entry in self.adjacent(node_id) if names[label_ids[entry[0]]] in labels
             )
-            self._filtered_cache[key] = cached
+            cache[key] = cached
+            if len(cache) > self._FILTERED_CACHE_CAP:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
         return cached
 
     def degree(self, node_id: int) -> int:
@@ -441,12 +463,13 @@ class CSRGraph:
 
     def neighbor_ids(self, node_id: int) -> Tuple[int, ...]:
         """Distinct neighbouring node ids (cached, direction ignored)."""
-        cached = self._neighbor_cache[node_id]
+        cache = self._neighbor_cache
+        cached = cache.get(node_id) if type(cache) is dict else cache[node_id]
         if cached is None:
             start, end = self._offsets[node_id], self._offsets[node_id + 1]
             others = self._adj_other[start:end].tolist()
             cached = tuple(dict.fromkeys(others))
-            self._neighbor_cache[node_id] = cached
+            cache[node_id] = cached
         return cached
 
     def neighbors(self, node_id: int) -> List[int]:

@@ -492,6 +492,7 @@ def evaluate_query(
         context = SearchContext(
             interning=base_config.interning,
             thread_safe=base_config.parallelism > 1,
+            dense_ids=base_config.dense_ids,
         )
 
     # Cost-model scheduling (repro.query.costmodel): an estimator is built
@@ -534,6 +535,7 @@ def evaluate_query(
         schedule = QuerySchedule(ledger=ledger, enabled=True)
         schedule.report.mode_requested = "thread"
         schedule.report.mode_selected = "thread"
+        schedule.report.algorithms = [algorithm] * len(query.ctps)
 
         bgp_var_sets = [frozenset(bgp.variables()) for bgp in bgps]
         deps = [
@@ -651,6 +653,10 @@ def evaluate_query(
                 ledger.prime(costs)  # full pending pool before any build share
             schedule = QuerySchedule(estimates=costs, ledger=ledger, enabled=scheduling)
             schedule.report.mode_requested = base_config.parallelism_mode
+            # One query runs one algorithm across its CTPs; record it per
+            # CTP so CTPCostEstimator.fit can pool reports across queries
+            # that used different algorithms.
+            schedule.report.algorithms = [algorithm] * len(prepared)
             if mode_selected is None:
                 workers = effective_parallelism(parallelism, len(prepared), context, mode)
                 pooled = pool is not None and mode == "process" and not pool.closed

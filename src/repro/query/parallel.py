@@ -505,6 +505,7 @@ def _process_worker_init(
     interning: bool,
     fault_plan: Any = None,
     epoch: int = 0,
+    dense_ids: bool = True,
 ) -> None:
     """Executor initializer: load the mmap-shared snapshot ONCE per worker.
 
@@ -527,7 +528,7 @@ def _process_worker_init(
     if fault_plan is not None:
         faults.install_plan(fault_plan, epoch=epoch)
     _worker_graph = load_snapshot(snapshot_path)
-    _worker_context = SearchContext(interning=interning)
+    _worker_context = SearchContext(interning=interning, dense_ids=dense_ids)
     _worker_overlay = None
     _worker_overlay_key = None
     _worker_overlay_context = None
@@ -553,7 +554,8 @@ def _worker_state_for(delta: Any) -> Tuple[Any, Optional[SearchContext]]:
 
         _worker_overlay = OverlayGraph(_worker_graph, delta)
         _worker_overlay_context = SearchContext(
-            interning=_worker_context.interning if _worker_context is not None else True
+            interning=_worker_context.interning if _worker_context is not None else True,
+            dense_ids=_worker_context.dense_ids if _worker_context is not None else True,
         )
         _worker_overlay_key = key
     return _worker_overlay, _worker_overlay_context
@@ -677,7 +679,13 @@ def _run_process(
             max_workers=workers,
             mp_context=_process_pool_context(),
             initializer=_process_worker_init,
-            initargs=(snapshot_path, jobs[0].config.interning, faults.active_plan(), 0),
+            initargs=(
+                snapshot_path,
+                jobs[0].config.interning,
+                faults.active_plan(),
+                0,
+                jobs[0].config.dense_ids,
+            ),
         ) as pool:
             outcomes, followers = _fan_out(jobs, context, pool, submit_one, schedule=schedule)
     except BrokenProcessPool:
@@ -1088,6 +1096,7 @@ def evaluate_queries(
         context = SearchContext(
             interning=base_config.interning,
             thread_safe=base_config.parallelism > 1,
+            dense_ids=base_config.dense_ids,
         )
     results = [
         evaluate_query(

@@ -119,6 +119,10 @@ class WorkerPool:
         dispatch whose config disagrees still runs correctly (the worker
         context refuses adoption and the engine uses a private pool), it
         just loses worker-side cache reuse.
+    dense_ids:
+        Pool-storage mode of the worker-private contexts (flat arrays vs
+        legacy dicts).  Mismatched dispatches degrade the same way as a
+        mismatched ``interning``: correct results, private pool.
 
     The pool is thread-safe: any number of request-handler threads may
     :meth:`submit` concurrently (``ProcessPoolExecutor`` serializes the
@@ -131,6 +135,7 @@ class WorkerPool:
         graph: Any,
         workers: Optional[int] = None,
         interning: bool = True,
+        dense_ids: bool = True,
         resilience: Optional[PoolResilienceConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
@@ -146,6 +151,7 @@ class WorkerPool:
         self.graph = graph
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.interning = interning
+        self.dense_ids = dense_ids
         #: Delta size at which a dispatch boundary compacts base ∪ delta into
         #: a new snapshot generation (full re-snapshot + respawn).  ``None``
         #: never compacts; ``0`` compacts on any mutation — the legacy
@@ -408,6 +414,7 @@ class WorkerPool:
                 self.interning,
                 faults.active_plan(),
                 self.respawns + self.recycles,
+                self.dense_ids,
             ),
         )
         return self._executor

@@ -167,11 +167,16 @@ class QueryServer:
                 graph,
                 workers=workers,
                 interning=self.base_config.interning,
+                dense_ids=self.base_config.dense_ids,
                 compaction_threshold=compaction_threshold,
                 **(pool_config or {}),
             )
         #: Shared across requests (thread-safe): cross-request memo + pool.
-        self.context = SearchContext(interning=self.base_config.interning, thread_safe=True)
+        self.context = SearchContext(
+            interning=self.base_config.interning,
+            thread_safe=True,
+            dense_ids=self.base_config.dense_ids,
+        )
         self._slots = threading.BoundedSemaphore(max_pending)
         self._gauge_lock = threading.Lock()
         #: Serializes write batches against read-view pinning: a query

@@ -134,6 +134,41 @@ def dbpedia_like(scale: float = 1.0, seed: int = 13) -> RealWorldDataset:
     return scale_free_graph(num_nodes, num_edges, seed=seed, name=f"dbpedia-like(scale={scale})")
 
 
+def scale_workload(
+    num_nodes: int,
+    seed: int = 0,
+    edges_per_node: float = 2.0,
+    num_ctps: int = 6,
+    max_radius: int = 2,
+) -> Tuple[Graph, List[Tuple[Tuple[int, ...], ...]]]:
+    """A seeded scale-free graph plus a tight-radius CTP batch, at any size.
+
+    The workload of the million-node scale bench (``python -m repro.bench
+    scale``): the graph grows to ``num_nodes`` (the paper's datasets are
+    6M/18M triples; the bench runs this at 10^6), while each CTP stays
+    *local* — m=2 seed sets sampled inside a radius-``max_radius`` BFS
+    ball, the shape real entity-to-entity queries take on large knowledge
+    graphs.  That contrast (huge id space, small touched set) is exactly
+    what separates dense search-local node ids from legacy global-id
+    masks, and everything is seeded so dense/legacy A-B runs see the
+    identical graph and CTPs.
+    """
+    dataset = scale_free_graph(
+        num_nodes,
+        max(num_nodes - 1, int(num_nodes * edges_per_node)),
+        seed=seed,
+        name=f"scale({num_nodes})",
+    )
+    ctps = sample_ctp_workload(
+        dataset.graph,
+        m_distribution={2: num_ctps},
+        seed=seed + 1,
+        max_radius=max_radius,
+        seeds_per_set=(1, 2),
+    )
+    return dataset.graph, ctps
+
+
 def sample_ctp_workload(
     graph: Graph,
     m_distribution: Optional[Dict[int, int]] = None,

@@ -24,6 +24,7 @@ def test_registry_contains_every_figure_and_table():
         "parallel",
         "process-parallel",
         "query-context",
+        "scale",
         "schedule",
         "serve",
     }
